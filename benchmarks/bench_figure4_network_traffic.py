@@ -1,0 +1,26 @@
+"""Figure 4: on-chip network traffic (total flits) normalized to MESI.
+
+Expected shape (paper): CC-shared-to-L2 blows traffic up massively (average
++137%, with multi-x worst cases), TSO-CC-4-basic is clearly above MESI, and
+the timestamped configurations are close to MESI.
+"""
+
+from repro.analysis.tables import format_series_table
+
+from bench_utils import write_result
+
+
+def test_figure4_network_traffic(benchmark, bench_runner, results_dir):
+    figure = benchmark.pedantic(bench_runner.figure4_network_traffic,
+                                rounds=1, iterations=1)
+    table = format_series_table(figure.series, row_order=figure.row_order,
+                                title=f"{figure.figure} — {figure.description}")
+    write_result(results_dir, "figure4_network_traffic.txt", table)
+
+    if "TSO-CC-4-12-3" in figure.series and "CC-shared-to-L2" in figure.series:
+        # The strawman must generate more traffic than the full protocol.
+        assert figure.series["CC-shared-to-L2"]["gmean"] > \
+            figure.series["TSO-CC-4-12-3"]["gmean"]
+    if "TSO-CC-4-12-3" in figure.series and "TSO-CC-4-basic" in figure.series:
+        assert figure.series["TSO-CC-4-12-3"]["gmean"] <= \
+            figure.series["TSO-CC-4-basic"]["gmean"] * 1.05

@@ -1,0 +1,31 @@
+"""Figure 6: L1 cache hits and misses, hits split by Shared / SharedRO /
+private state.
+
+The key visual of the paper's Figure 6 is that under the TSO-CC family a
+substantial fraction of read hits comes from SharedRO lines (the §3.4
+optimization), while CC-shared-to-L2 converts shared read hits into misses.
+"""
+
+from repro.analysis.tables import format_series_table
+
+from bench_utils import write_result
+
+
+def test_figure6_hit_breakdown(benchmark, bench_runner, results_dir):
+    figure = benchmark.pedantic(bench_runner.figure6_hit_breakdown,
+                                rounds=1, iterations=1)
+    table = format_series_table(figure.series, row_order=figure.row_order,
+                                title=f"{figure.figure} — {figure.description}",
+                                float_format="{:.2f}")
+    write_result(results_dir, "figure6_hit_breakdown.txt", table)
+
+    # Every (protocol, workload) column must roughly sum to 100% of accesses.
+    for protocol in bench_runner.protocols:
+        for workload in bench_runner.workloads:
+            components = [
+                figure.series.get(f"{protocol}:{part}", {}).get(workload, 0.0)
+                for part in ("read_miss", "write_miss", "read_hit_shared",
+                             "read_hit_shared_ro", "read_hit_private",
+                             "write_hit_private")
+            ]
+            assert abs(sum(components) - 100.0) < 1.0, (protocol, workload)

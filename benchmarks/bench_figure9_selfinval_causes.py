@@ -1,0 +1,35 @@
+"""Figure 9: breakdown of L1 self-invalidation causes.
+
+Splits self-invalidation events into invalid-timestamp, potential acquire
+(non-SharedRO), potential acquire (SharedRO) and fence causes.  Without
+timestamps everything is an invalid-timestamp event; with them the
+potential-acquire categories dominate.
+"""
+
+from repro.analysis.tables import format_series_table
+
+from bench_utils import write_result
+
+
+def test_figure9_selfinval_causes(benchmark, bench_runner, results_dir):
+    figure = benchmark.pedantic(bench_runner.figure9_selfinval_causes,
+                                rounds=1, iterations=1)
+    table = format_series_table(figure.series, row_order=figure.row_order,
+                                title=f"{figure.figure} — {figure.description}",
+                                float_format="{:.2f}")
+    write_result(results_dir, "figure9_selfinval_causes.txt", table)
+
+    workloads = bench_runner.workloads
+    # Cause fractions sum to ~100% wherever any self-invalidation occurred.
+    protocols = [p for p in bench_runner.protocols if p != bench_runner.baseline]
+    for protocol in protocols:
+        for workload in workloads:
+            parts = [figure.series.get(f"{protocol}:{cause}", {}).get(workload, 0.0)
+                     for cause in ("invalid_ts", "acquire", "acquire_sro", "fence")]
+            total = sum(parts)
+            assert total == 0.0 or abs(total - 100.0) < 1.0, (protocol, workload, total)
+    # Without timestamps, no event can be classified as a potential acquire
+    # on a non-SharedRO line.
+    if "TSO-CC-4-basic" in protocols:
+        for workload in workloads:
+            assert figure.series.get("TSO-CC-4-basic:acquire", {}).get(workload, 0.0) == 0.0

@@ -1,0 +1,34 @@
+"""§4.3 verification: litmus tests against the x86-TSO reference model.
+
+Runs the canonical TSO litmus suite (plus a few diy-style generated tests)
+on the simulator under the MESI baseline and the best realistic TSO-CC
+configuration, and asserts that no outcome forbidden by the operational
+x86-TSO model is ever observed.
+"""
+
+from repro.consistency import canonical_tests, generate_random_test, verify_litmus
+
+from bench_utils import write_result
+
+
+def _run(protocol: str):
+    tests = canonical_tests() + [generate_random_test(seed, num_threads=2,
+                                                      ops_per_thread=3)
+                                 for seed in range(4)]
+    return verify_litmus(tests, protocol=protocol, iterations=8)
+
+
+def test_litmus_verification_tsocc(benchmark, results_dir):
+    passed, results = benchmark.pedantic(_run, args=("TSO-CC-4-12-3",),
+                                         rounds=1, iterations=1)
+    report = "\n".join(result.summary() for result in results)
+    write_result(results_dir, "litmus_tsocc.txt", report)
+    assert passed, "TSO-CC-4-12-3 produced an outcome forbidden by x86-TSO"
+
+
+def test_litmus_verification_mesi(benchmark, results_dir):
+    passed, results = benchmark.pedantic(_run, args=("MESI",),
+                                         rounds=1, iterations=1)
+    report = "\n".join(result.summary() for result in results)
+    write_result(results_dir, "litmus_mesi.txt", report)
+    assert passed, "MESI produced an outcome forbidden by x86-TSO"

@@ -1,0 +1,31 @@
+"""Table 2: system parameters.
+
+Regenerates the platform-parameter table from the default
+:class:`~repro.sim.config.SystemConfig` (the paper's platform) and records
+the scaled preset actually used by the figure benchmarks.
+"""
+
+import os
+
+from repro.sim.config import PAPER_SYSTEM, SystemConfig
+
+from bench_utils import write_result
+
+
+def _describe() -> str:
+    num_cores = int(os.environ.get("REPRO_BENCH_CORES", "8"))
+    scaled = SystemConfig().scaled(num_cores=num_cores)
+    return (
+        "Table 2 — system parameters (paper platform)\n"
+        + PAPER_SYSTEM.describe()
+        + "\n\nScaled platform used by the figure benchmarks\n"
+        + scaled.describe()
+    )
+
+
+def test_table2_system_parameters(benchmark, results_dir):
+    text = benchmark.pedantic(_describe, rounds=1, iterations=1)
+    write_result(results_dir, "table2_system_params.txt", text)
+    assert "32 @ 2.0GHz" in PAPER_SYSTEM.describe()
+    assert PAPER_SYSTEM.l1_hit_latency == 3
+    assert PAPER_SYSTEM.write_buffer_entries == 32

@@ -1,0 +1,14 @@
+"""Small helpers shared by the figure/table benchmarks."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(results_dir: Path, name: str, content: str) -> None:
+    """Write one regenerated artefact under ``benchmarks/results/``."""
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / name
+    path.write_text(content + "\n", encoding="utf-8")

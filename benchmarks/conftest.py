@@ -1,0 +1,60 @@
+"""Shared fixtures for the figure/table regeneration benchmarks.
+
+The benchmarks are organised one file per table/figure of the paper.  They
+share a single :class:`~repro.analysis.experiments.ExperimentRunner` (the
+full workload x protocol matrix is simulated once per pytest session and
+cached), and every benchmark writes the regenerated table to
+``benchmarks/results/`` so the numbers can be inspected and compared against
+the paper (see EXPERIMENTS.md).
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_CORES``     — simulated core count (default 8)
+* ``REPRO_BENCH_SCALE``     — workload scale factor (default 0.35)
+* ``REPRO_BENCH_WORKLOADS`` — comma-separated subset of Table 3 names
+* ``REPRO_BENCH_PROTOCOLS`` — comma-separated subset of configuration names
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRunner
+from repro.sim.config import SystemConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _env_list(name: str):
+    raw = os.environ.get(name, "").strip()
+    return [item.strip() for item in raw.split(",") if item.strip()] or None
+
+
+@pytest.fixture(scope="session")
+def bench_runner() -> ExperimentRunner:
+    """Session-cached experiment runner for the full evaluation matrix."""
+    num_cores = int(os.environ.get("REPRO_BENCH_CORES", "8"))
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+    runner = ExperimentRunner(
+        system_config=SystemConfig().scaled(num_cores=num_cores),
+        protocols=_env_list("REPRO_BENCH_PROTOCOLS"),
+        workloads=_env_list("REPRO_BENCH_WORKLOADS"),
+        scale=scale,
+    )
+    return runner
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory the regenerated tables are written to."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def _unused_write_result(results_dir: Path, name: str, content: str) -> None:
+    """Write one regenerated artefact (and echo a short header to stdout)."""
+    path = results_dir / name
+    path.write_text(content + "\n", encoding="utf-8")

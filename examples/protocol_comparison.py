@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Compare every protocol configuration of the paper on a few benchmarks.
+
+Runs a subset of the Table 3 benchmark stand-ins across all seven protocol
+configurations (MESI, CC-shared-to-L2, TSO-CC-4-basic/noreset/12-3/12-0/9-3)
+and prints execution time and network traffic normalized to MESI — a small
+interactive version of Figures 3 and 4.
+
+Run with::
+
+    python examples/protocol_comparison.py            # default subset
+    python examples/protocol_comparison.py intruder radix fft
+"""
+
+import sys
+
+from repro.analysis import ExperimentRunner, format_series_table
+from repro.sim.config import SystemConfig
+
+
+def main() -> None:
+    workloads = sys.argv[1:] or ["fft", "lu_noncontig", "radix", "intruder"]
+    runner = ExperimentRunner(
+        system_config=SystemConfig().scaled(num_cores=8),
+        workloads=workloads,
+        scale=0.4,
+    )
+    runner.run_all()
+
+    fig3 = runner.figure3_execution_time()
+    print(format_series_table(fig3.series, row_order=fig3.row_order,
+                              title="Execution time normalized to MESI (Figure 3 subset)"))
+    print()
+    fig4 = runner.figure4_network_traffic()
+    print(format_series_table(fig4.series, row_order=fig4.row_order,
+                              title="Network traffic normalized to MESI (Figure 4 subset)"))
+
+
+if __name__ == "__main__":
+    main()

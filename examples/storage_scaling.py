@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Reproduce Figure 2: coherence storage overhead vs core count.
+
+Uses the Table 1 storage model to compute the extra on-chip storage required
+for coherence by MESI (full sharing vector) and every TSO-CC configuration,
+for core counts up to 128 with the paper's cache geometry (1MB of L2 per
+core, 64B lines, 32KB L1 per core), and prints the Figure 2 series together
+with the headline reduction percentages quoted in §4.2.
+
+Run with::
+
+    python examples/storage_scaling.py
+"""
+
+from repro import SystemConfig, StorageModel
+from repro.core.config import PAPER_TSOCC_CONFIGS, TSO_CC_4_12_3, TSO_CC_4_BASIC, CC_SHARED_TO_L2
+
+
+def main() -> None:
+    model = StorageModel(SystemConfig())
+    series = model.figure2_series(PAPER_TSOCC_CONFIGS,
+                                  core_counts=(16, 32, 48, 64, 80, 96, 112, 128))
+    cores = [int(c) for c in series.pop("cores")]
+
+    header = f"{'cores':>6s}" + "".join(f"{name:>18s}" for name in series)
+    print("Coherence storage overhead (MB) — Figure 2")
+    print(header)
+    for i, count in enumerate(cores):
+        row = f"{count:>6d}" + "".join(f"{series[name][i]:>18.2f}" for name in series)
+        print(row)
+
+    print("\nHeadline reductions vs MESI (paper §4.2 in parentheses):")
+    for config, cores_at, paper in ((TSO_CC_4_12_3, 32, "38%"),
+                                    (TSO_CC_4_12_3, 128, "82%"),
+                                    (TSO_CC_4_BASIC, 32, "75%"),
+                                    (CC_SHARED_TO_L2, 32, "76%")):
+        reduction = model.reduction_vs_mesi(cores_at, config)
+        print(f"  {config.name:18s} @ {cores_at:3d} cores: {reduction:6.1%}  (paper: {paper})")
+
+
+if __name__ == "__main__":
+    main()

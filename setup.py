@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works with the legacy (non-PEP-660) editable-install
+path on environments whose setuptools/wheel toolchain predates editable
+wheels (e.g. fully offline machines).
+"""
+
+from setuptools import setup
+
+setup()

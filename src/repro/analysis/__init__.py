@@ -1,0 +1,24 @@
+"""Analysis and experiment harness.
+
+* :mod:`repro.analysis.metrics` — geometric/arithmetic means, normalization
+  against the MESI baseline.
+* :mod:`repro.analysis.experiments` — :class:`ExperimentRunner`: runs
+  (workload x protocol) matrices and produces the per-figure data series of
+  the paper's evaluation (Figures 3-9), plus the storage series of Figure 2.
+* :mod:`repro.analysis.tables` — plain-text table rendering used by the
+  benchmark harness and the examples.
+"""
+
+from repro.analysis.experiments import ExperimentRunner, FigureData
+from repro.analysis.metrics import amean, gmean, normalize_to_baseline
+from repro.analysis.tables import format_series_table, format_table
+
+__all__ = [
+    "ExperimentRunner",
+    "FigureData",
+    "gmean",
+    "amean",
+    "normalize_to_baseline",
+    "format_table",
+    "format_series_table",
+]

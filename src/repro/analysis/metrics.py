@@ -1,0 +1,65 @@
+"""Metric helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's summary statistic for normalized execution
+    time and traffic); returns 0.0 for an empty input."""
+    values = [float(v) for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def amean(values: Iterable[float]) -> float:
+    """Arithmetic mean; returns 0.0 for an empty input."""
+    values = [float(v) for v in values]
+    return sum(values) / len(values) if values else 0.0
+
+
+def normalize_to_baseline(
+    results: Mapping[str, Mapping[str, float]],
+    baseline: str,
+    metric_sign: int = 1,
+) -> Dict[str, Dict[str, float]]:
+    """Normalize a ``{config: {workload: value}}`` matrix to ``baseline``.
+
+    Args:
+        results: raw values per configuration and workload.
+        baseline: the configuration to normalize against (usually ``MESI``).
+        metric_sign: unused placeholder for symmetric APIs; kept for clarity.
+
+    Returns:
+        ``{config: {workload: value / baseline_value}}`` (workloads missing
+        from the baseline are skipped).
+    """
+    if baseline not in results:
+        raise KeyError(f"baseline {baseline!r} not present in results")
+    base = results[baseline]
+    normalized: Dict[str, Dict[str, float]] = {}
+    for config, per_workload in results.items():
+        normalized[config] = {}
+        for workload, value in per_workload.items():
+            if workload in base and base[workload]:
+                normalized[config][workload] = value / base[workload]
+    return normalized
+
+
+def add_summary_row(
+    normalized: Mapping[str, Mapping[str, float]],
+    summary: str = "gmean",
+) -> Dict[str, Dict[str, float]]:
+    """Append a ``gmean`` (or ``amean``) summary entry per configuration."""
+    func = gmean if summary == "gmean" else amean
+    out: Dict[str, Dict[str, float]] = {}
+    for config, per_workload in normalized.items():
+        out[config] = dict(per_workload)
+        if per_workload:
+            out[config][summary] = func(per_workload.values())
+    return out

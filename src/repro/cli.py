@@ -1,0 +1,185 @@
+"""Command-line interface.
+
+Exposes the most common operations without writing Python::
+
+    python -m repro list                          # workloads & protocol configs
+    python -m repro run fft --protocol MESI --protocol TSO-CC-4-12-3
+    python -m repro figure 3 --workloads fft,radix --scale 0.3
+    python -m repro storage --cores 32,64,128
+    python -m repro litmus --protocol TSO-CC-4-12-3 --iterations 10
+
+Every sub-command prints a plain-text table (the same renderers the
+benchmark harness uses) and exits non-zero if a correctness check fails
+(invalid workload results or a forbidden litmus outcome).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import ExperimentRunner
+from repro.analysis.tables import format_series_table, format_table
+from repro.consistency import canonical_tests, verify_litmus
+from repro.core.config import PAPER_TSOCC_CONFIGS
+from repro.core.storage import StorageModel
+from repro.protocols.registry import list_protocol_names
+from repro.sim.config import SystemConfig
+from repro.sim.system import build_system
+from repro.workloads.benchmarks import BENCHMARK_FAMILIES, benchmark_names, make_benchmark
+
+
+def _split(value: Optional[str]) -> Optional[List[str]]:
+    if not value:
+        return None
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("Protocol configurations:")
+    for name in list_protocol_names():
+        print(f"  {name}")
+    print("\nBenchmark stand-ins (Table 3):")
+    rows = [{"benchmark": name, "suite": suite}
+            for name, suite in BENCHMARK_FAMILIES.items()]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    protocols = args.protocol or ["MESI", "TSO-CC-4-12-3"]
+    config = SystemConfig().scaled(num_cores=args.cores)
+    rows = []
+    failures = 0
+    for protocol in protocols:
+        workload = make_benchmark(args.workload, num_cores=args.cores, scale=args.scale)
+        system = build_system(config, protocol)
+        result = system.run(workload.programs, params=workload.params,
+                            max_cycles=args.max_cycles, workload_name=args.workload)
+        valid = workload.validate(result)
+        failures += 0 if valid else 1
+        summary = result.stats.summary()
+        rows.append({
+            "protocol": protocol,
+            "valid": valid,
+            "cycles": int(summary["cycles"]),
+            "flits": int(summary["flits"]),
+            "l1_miss_rate": summary["l1_miss_rate"],
+            "self_inval": int(summary["self_invalidations"]),
+            "avg_rmw_latency": summary["avg_rmw_latency"],
+        })
+    print(format_table(rows, title=f"{args.workload} ({args.cores} cores, scale {args.scale})"))
+    return 1 if failures else 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(
+        system_config=SystemConfig().scaled(num_cores=args.cores),
+        protocols=_split(args.protocols),
+        workloads=_split(args.workloads),
+        scale=args.scale,
+    )
+    methods = {
+        "2": runner.figure2_storage,
+        "3": runner.figure3_execution_time,
+        "4": runner.figure4_network_traffic,
+        "5": runner.figure5_miss_breakdown,
+        "6": runner.figure6_hit_breakdown,
+        "7": runner.figure7_selfinval_triggers,
+        "8": runner.figure8_rmw_latency,
+        "9": runner.figure9_selfinval_causes,
+    }
+    if args.number not in methods:
+        print(f"unknown figure {args.number!r}; choose one of {', '.join(methods)}",
+              file=sys.stderr)
+        return 2
+    figure = methods[args.number]()
+    label = "cores" if args.number == "2" else "workload"
+    print(format_series_table(figure.series, row_order=figure.row_order,
+                              title=f"{figure.figure} — {figure.description}",
+                              row_label=label))
+    return 0
+
+
+def _cmd_storage(args: argparse.Namespace) -> int:
+    core_counts = [int(c) for c in (_split(args.cores) or ["16", "32", "64", "128"])]
+    model = StorageModel(SystemConfig())
+    series = model.figure2_series(PAPER_TSOCC_CONFIGS, core_counts=core_counts)
+    cores = [int(c) for c in series.pop("cores")]
+    data = {name: {str(c): values[i] for i, c in enumerate(cores)}
+            for name, values in series.items()}
+    print(format_series_table(data, row_order=[str(c) for c in cores],
+                              title="Coherence storage overhead (MB)",
+                              row_label="cores"))
+    return 0
+
+
+def _cmd_litmus(args: argparse.Namespace) -> int:
+    tests = canonical_tests()
+    if args.tests:
+        wanted = set(_split(args.tests) or [])
+        tests = [t for t in tests if t.name in wanted]
+        if not tests:
+            print(f"no litmus tests match {args.tests!r}", file=sys.stderr)
+            return 2
+    passed, results = verify_litmus(tests, protocol=args.protocol,
+                                    iterations=args.iterations)
+    for result in results:
+        print(result.summary())
+    print("ALL PASS" if passed else "FORBIDDEN OUTCOME OBSERVED")
+    return 0 if passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TSO-CC reproduction: run workloads, figures and litmus tests",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list protocol configurations and workloads")
+
+    run = sub.add_parser("run", help="run one benchmark under one or more protocols")
+    run.add_argument("workload", choices=benchmark_names())
+    run.add_argument("--protocol", action="append",
+                     help="protocol configuration (repeatable)")
+    run.add_argument("--cores", type=int, default=8)
+    run.add_argument("--scale", type=float, default=0.35)
+    run.add_argument("--max-cycles", type=int, default=200_000_000)
+
+    figure = sub.add_parser("figure", help="regenerate one figure of the paper")
+    figure.add_argument("number", help="figure number (2-9)")
+    figure.add_argument("--workloads", help="comma-separated workload subset")
+    figure.add_argument("--protocols", help="comma-separated protocol subset")
+    figure.add_argument("--cores", type=int, default=8)
+    figure.add_argument("--scale", type=float, default=0.35)
+
+    storage = sub.add_parser("storage", help="print the Figure 2 storage model")
+    storage.add_argument("--cores", help="comma-separated core counts")
+
+    litmus = sub.add_parser("litmus", help="run litmus tests against x86-TSO")
+    litmus.add_argument("--protocol", default="TSO-CC-4-12-3")
+    litmus.add_argument("--iterations", type=int, default=10)
+    litmus.add_argument("--tests", help="comma-separated litmus test names")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "figure": _cmd_figure,
+        "storage": _cmd_storage,
+        "litmus": _cmd_litmus,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

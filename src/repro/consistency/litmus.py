@@ -1,0 +1,350 @@
+"""Litmus tests for TSO.
+
+A litmus test is a tiny multi-threaded program over a handful of shared
+variables; each thread is a straight-line sequence of loads (into named
+registers), stores (of constants) and fences.  The interesting question is
+which final register/memory states are observable — the x86-TSO model (and
+therefore a correct TSO-CC implementation) allows some and forbids others.
+
+This module provides the canonical tests from the literature (the ones diy
+generates for TSO, after Sewell et al.'s x86-TSO paper) plus a diy-style
+random generator used to widen coverage.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LitmusOp:
+    """One instruction of a litmus thread.
+
+    Attributes:
+        kind: ``"load"``, ``"store"`` or ``"fence"``.
+        var: shared-variable name (loads/stores).
+        value: stored constant (stores only).
+        register: destination register name (loads only).
+    """
+
+    kind: str
+    var: Optional[str] = None
+    value: int = 0
+    register: Optional[str] = None
+
+
+def load(var: str, register: str) -> LitmusOp:
+    """A load of ``var`` into ``register``."""
+    return LitmusOp(kind="load", var=var, register=register)
+
+
+def store(var: str, value: int) -> LitmusOp:
+    """A store of ``value`` to ``var``."""
+    return LitmusOp(kind="store", var=var, value=value)
+
+
+def fence() -> LitmusOp:
+    """A full memory fence (mfence)."""
+    return LitmusOp(kind="fence")
+
+
+@dataclass(frozen=True)
+class LitmusThread:
+    """One thread of a litmus test."""
+
+    ops: Tuple[LitmusOp, ...]
+
+
+@dataclass
+class LitmusTest:
+    """A complete litmus test.
+
+    Attributes:
+        name: short conventional name (``SB``, ``MP`` ...).
+        threads: the per-thread instruction sequences.
+        variables: shared variable names (all initially 0).
+        interesting: an outcome (register assignment) of special interest.
+        interesting_allowed: whether that outcome is allowed under TSO
+            (``None`` if unspecified).
+        description: one-line explanation.
+    """
+
+    name: str
+    threads: List[LitmusThread]
+    variables: List[str] = field(default_factory=list)
+    interesting: Optional[Dict[str, int]] = None
+    interesting_allowed: Optional[bool] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.variables:
+            names = []
+            for thread in self.threads:
+                for op in thread.ops:
+                    if op.var is not None and op.var not in names:
+                        names.append(op.var)
+            self.variables = names
+
+    @property
+    def registers(self) -> List[str]:
+        """All destination registers, in thread/program order."""
+        regs = []
+        for thread in self.threads:
+            for op in thread.ops:
+                if op.kind == "load" and op.register is not None:
+                    regs.append(op.register)
+        return regs
+
+
+# ---------------------------------------------------------------------------
+# Canonical tests
+# ---------------------------------------------------------------------------
+
+def canonical_tests() -> List[LitmusTest]:
+    """The canonical TSO litmus tests with their textbook verdicts.
+
+    The ``interesting`` outcome of each test is the one whose
+    allowed/forbidden status distinguishes TSO from SC (or from weaker
+    models); ``interesting_allowed`` records the x86-TSO verdict.
+    """
+    tests: List[LitmusTest] = []
+
+    # Store Buffering: the TSO-defining relaxation (allowed).
+    tests.append(LitmusTest(
+        name="SB",
+        threads=[
+            LitmusThread((store("x", 1), load("y", "r0"))),
+            LitmusThread((store("y", 1), load("x", "r1"))),
+        ],
+        interesting={"r0": 0, "r1": 0},
+        interesting_allowed=True,
+        description="store buffering: both loads may read 0 under TSO",
+    ))
+
+    # Store Buffering with fences (forbidden).
+    tests.append(LitmusTest(
+        name="SB+mfences",
+        threads=[
+            LitmusThread((store("x", 1), fence(), load("y", "r0"))),
+            LitmusThread((store("y", 1), fence(), load("x", "r1"))),
+        ],
+        interesting={"r0": 0, "r1": 0},
+        interesting_allowed=False,
+        description="fenced store buffering: r0=r1=0 forbidden",
+    ))
+
+    # Message Passing (forbidden): the Figure 1 pattern of the paper.
+    tests.append(LitmusTest(
+        name="MP",
+        threads=[
+            LitmusThread((store("data", 1), store("flag", 1))),
+            LitmusThread((load("flag", "r0"), load("data", "r1"))),
+        ],
+        interesting={"r0": 1, "r1": 0},
+        interesting_allowed=False,
+        description="message passing: seeing the flag but stale data is forbidden",
+    ))
+
+    # Load Buffering (forbidden under TSO: loads are not reordered).
+    tests.append(LitmusTest(
+        name="LB",
+        threads=[
+            LitmusThread((load("x", "r0"), store("y", 1))),
+            LitmusThread((load("y", "r1"), store("x", 1))),
+        ],
+        interesting={"r0": 1, "r1": 1},
+        interesting_allowed=False,
+        description="load buffering: both loads observing the other store is forbidden",
+    ))
+
+    # Write-to-Read Causality (forbidden).
+    tests.append(LitmusTest(
+        name="WRC",
+        threads=[
+            LitmusThread((store("x", 1),)),
+            LitmusThread((load("x", "r0"), store("y", 1))),
+            LitmusThread((load("y", "r1"), load("x", "r2"))),
+        ],
+        interesting={"r0": 1, "r1": 1, "r2": 0},
+        interesting_allowed=False,
+        description="write-to-read causality must be respected",
+    ))
+
+    # Independent Reads of Independent Writes (forbidden under TSO).
+    tests.append(LitmusTest(
+        name="IRIW",
+        threads=[
+            LitmusThread((store("x", 1),)),
+            LitmusThread((store("y", 1),)),
+            LitmusThread((load("x", "r0"), load("y", "r1"))),
+            LitmusThread((load("y", "r2"), load("x", "r3"))),
+        ],
+        interesting={"r0": 1, "r1": 0, "r2": 1, "r3": 0},
+        interesting_allowed=False,
+        description="readers must agree on the order of independent writes",
+    ))
+
+    # Read-to-Write Causality (allowed under TSO).
+    tests.append(LitmusTest(
+        name="RWC",
+        threads=[
+            LitmusThread((store("x", 1),)),
+            LitmusThread((load("x", "r0"), load("y", "r1"))),
+            LitmusThread((store("y", 1), load("x", "r2"))),
+        ],
+        interesting={"r0": 1, "r1": 0, "r2": 0},
+        interesting_allowed=True,
+        description="read-to-write causality: allowed because of store buffering",
+    ))
+
+    # 2+2W (forbidden: coherence order of two variables cannot cross).
+    tests.append(LitmusTest(
+        name="2+2W",
+        threads=[
+            LitmusThread((store("x", 1), store("y", 2))),
+            LitmusThread((store("y", 1), store("x", 2))),
+        ],
+        interesting=None,
+        interesting_allowed=None,
+        description="2+2W: final values constrained by coherence",
+    ))
+
+    # CoRR: read-read coherence on a single location (forbidden to see new
+    # then old).
+    tests.append(LitmusTest(
+        name="CoRR",
+        threads=[
+            LitmusThread((store("x", 1),)),
+            LitmusThread((load("x", "r0"), load("x", "r1"))),
+        ],
+        interesting={"r0": 1, "r1": 0},
+        interesting_allowed=False,
+        description="per-location coherence: a later read may not see an older value",
+    ))
+
+    # n7 / SB variant with a same-address read in between (allowed): a core
+    # may read its own buffered store early.
+    tests.append(LitmusTest(
+        name="SB+rfi",
+        threads=[
+            LitmusThread((store("x", 1), load("x", "r0"), load("y", "r1"))),
+            LitmusThread((store("y", 1), load("y", "r2"), load("x", "r3"))),
+        ],
+        interesting={"r0": 1, "r1": 0, "r2": 1, "r3": 0},
+        interesting_allowed=True,
+        description="store-forwarding lets both cores read their own store early",
+    ))
+
+    # R: one store-store thread against a store-load thread (allowed — the
+    # second thread's load may still miss the first thread's stores).
+    tests.append(LitmusTest(
+        name="R",
+        threads=[
+            LitmusThread((store("x", 1), store("y", 1))),
+            LitmusThread((store("y", 2), load("x", "r0"))),
+        ],
+        interesting={"r0": 0, "[y]": 2},
+        interesting_allowed=True,
+        description="R: store buffering lets thread 1 miss x=1 even if its "
+                    "y=2 loses the coherence race",
+    ))
+
+    # S: store-store against load-store (forbidden: would need w->w or r->w
+    # reordering, neither of which TSO allows).
+    tests.append(LitmusTest(
+        name="S",
+        threads=[
+            LitmusThread((store("x", 2), store("y", 1))),
+            LitmusThread((load("y", "r0"), store("x", 1))),
+        ],
+        interesting={"r0": 1, "[x]": 2},
+        interesting_allowed=False,
+        description="S: observing y=1 orders thread 1's x=1 after x=2",
+    ))
+
+    # Three-thread store buffering (allowed): every thread misses its
+    # right-hand neighbour's store.
+    tests.append(LitmusTest(
+        name="3.SB",
+        threads=[
+            LitmusThread((store("x", 1), load("y", "r0"))),
+            LitmusThread((store("y", 1), load("z", "r1"))),
+            LitmusThread((store("z", 1), load("x", "r2"))),
+        ],
+        interesting={"r0": 0, "r1": 0, "r2": 0},
+        interesting_allowed=True,
+        description="three-way store buffering ring",
+    ))
+
+    # CoWR: a core must read its own most recent write to a location.
+    tests.append(LitmusTest(
+        name="CoWR",
+        threads=[
+            LitmusThread((store("x", 1), load("x", "r0"))),
+            LitmusThread((store("x", 2),)),
+        ],
+        interesting={"r0": 2, "[x]": 1},
+        interesting_allowed=False,
+        description="per-location coherence: reading another core's write "
+                    "orders it before our own is impossible if ours is final",
+    ))
+
+    # MP with a fence on the producer only (still forbidden under TSO, since
+    # TSO never needed the fence; kept to exercise fence handling).
+    tests.append(LitmusTest(
+        name="MP+mfence",
+        threads=[
+            LitmusThread((store("data", 1), fence(), store("flag", 1))),
+            LitmusThread((load("flag", "r0"), load("data", "r1"))),
+        ],
+        interesting={"r0": 1, "r1": 0},
+        interesting_allowed=False,
+        description="fenced message passing",
+    ))
+
+    return tests
+
+
+# ---------------------------------------------------------------------------
+# diy-style random generator
+# ---------------------------------------------------------------------------
+
+def generate_random_test(
+    seed: int,
+    num_threads: int = 2,
+    ops_per_thread: int = 3,
+    num_vars: int = 2,
+    fence_probability: float = 0.15,
+) -> LitmusTest:
+    """Generate a small random litmus test (diy-style coverage widening).
+
+    Stores write distinct values per (thread, position) so every load's
+    reads-from edge is unambiguous, which is what lets the reference model
+    and the simulator outcomes be compared exactly.
+    """
+    rng = random.Random(seed)
+    variables = [f"v{i}" for i in range(num_vars)]
+    threads: List[LitmusThread] = []
+    register_index = 0
+    for tid in range(num_threads):
+        ops: List[LitmusOp] = []
+        for pos in range(ops_per_thread):
+            roll = rng.random()
+            if roll < fence_probability and ops:
+                ops.append(fence())
+                continue
+            var = rng.choice(variables)
+            if rng.random() < 0.5:
+                ops.append(load(var, f"r{register_index}"))
+                register_index += 1
+            else:
+                value = tid * 100 + pos + 1
+                ops.append(store(var, value))
+        threads.append(LitmusThread(tuple(ops)))
+    return LitmusTest(
+        name=f"rand-{seed}",
+        threads=threads,
+        description=f"randomly generated (seed={seed})",
+    )

@@ -1,0 +1,175 @@
+"""Operational x86-TSO reference model.
+
+Implements the abstract machine of Sewell et al.'s *x86-TSO* (the model the
+paper's diy litmus tests target): each hardware thread owns a FIFO store
+buffer; stores enter the buffer, loads read the youngest buffered store to
+the same address (store forwarding) or, failing that, shared memory; fences
+wait for the thread's own buffer to drain; and at any point the oldest entry
+of any buffer may be flushed to memory.
+
+:func:`enumerate_tso_outcomes` exhaustively explores every interleaving of
+instruction execution and buffer flushes for a litmus test and returns the
+set of reachable final states — the oracle the simulator-observed outcomes
+are checked against.  :func:`enumerate_sc_outcomes` does the same for
+sequential consistency (no store buffers), which is useful for asserting
+that TSO is a strict relaxation (every SC outcome is TSO-allowed, and e.g.
+the SB test has a TSO-only outcome).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.consistency.litmus import LitmusTest
+
+#: A final outcome: sorted tuple of (register or "var", value) pairs.
+Outcome = Tuple[Tuple[str, int], ...]
+
+
+def _make_outcome(registers: Dict[str, int], memory: Dict[str, int],
+                  include_memory: bool) -> Outcome:
+    items = dict(registers)
+    if include_memory:
+        items.update({f"[{var}]": value for var, value in memory.items()})
+    return tuple(sorted(items.items()))
+
+
+def enumerate_tso_outcomes(test: LitmusTest, include_memory: bool = False) -> Set[Outcome]:
+    """Enumerate every final state reachable under x86-TSO.
+
+    Args:
+        test: the litmus test.
+        include_memory: also include final memory values (as ``[var]`` keys)
+            in each outcome, not just registers.
+
+    Returns:
+        A set of outcomes; each outcome is a sorted tuple of
+        ``(register, value)`` pairs.
+    """
+    num_threads = len(test.threads)
+    init_memory = tuple(sorted((var, 0) for var in test.variables))
+    initial = (
+        (0,) * num_threads,                      # per-thread program counters
+        ((),) * num_threads,                     # per-thread store buffers
+        init_memory,                             # shared memory
+        (),                                      # registers written so far
+    )
+    outcomes: Set[Outcome] = set()
+    visited = set()
+    stack = [initial]
+    while stack:
+        state = stack.pop()
+        if state in visited:
+            continue
+        visited.add(state)
+        pcs, buffers, memory_t, regs_t = state
+        memory = dict(memory_t)
+        registers = dict(regs_t)
+
+        done = all(pcs[t] >= len(test.threads[t].ops) for t in range(num_threads))
+        buffers_empty = all(not buf for buf in buffers)
+        if done and buffers_empty:
+            outcomes.add(_make_outcome(registers, memory, include_memory))
+            continue
+
+        progressed = False
+
+        # Transition 1: flush the oldest entry of any non-empty buffer.
+        for t in range(num_threads):
+            if buffers[t]:
+                var, value = buffers[t][0]
+                new_memory = dict(memory)
+                new_memory[var] = value
+                new_buffers = list(buffers)
+                new_buffers[t] = buffers[t][1:]
+                stack.append((pcs, tuple(new_buffers),
+                              tuple(sorted(new_memory.items())), regs_t))
+                progressed = True
+
+        # Transition 2: execute the next instruction of any thread.
+        for t in range(num_threads):
+            if pcs[t] >= len(test.threads[t].ops):
+                continue
+            op = test.threads[t].ops[pcs[t]]
+            new_pcs = list(pcs)
+            new_pcs[t] += 1
+            if op.kind == "store":
+                new_buffers = list(buffers)
+                new_buffers[t] = buffers[t] + ((op.var, op.value),)
+                stack.append((tuple(new_pcs), tuple(new_buffers), memory_t, regs_t))
+                progressed = True
+            elif op.kind == "load":
+                value = None
+                for var, buffered in reversed(buffers[t]):
+                    if var == op.var:
+                        value = buffered
+                        break
+                if value is None:
+                    value = memory.get(op.var, 0)
+                new_regs = dict(registers)
+                new_regs[op.register] = value
+                stack.append((tuple(new_pcs), buffers, memory_t,
+                              tuple(sorted(new_regs.items()))))
+                progressed = True
+            elif op.kind == "fence":
+                if not buffers[t]:
+                    stack.append((tuple(new_pcs), buffers, memory_t, regs_t))
+                    progressed = True
+                # A fence with a non-empty buffer must wait; the flush
+                # transition above provides the progress.
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown litmus op kind {op.kind!r}")
+
+        if not progressed and not (done and buffers_empty):  # pragma: no cover
+            raise RuntimeError("x86-TSO model stuck (should be impossible)")
+    return outcomes
+
+
+def enumerate_sc_outcomes(test: LitmusTest, include_memory: bool = False) -> Set[Outcome]:
+    """Enumerate every final state reachable under sequential consistency."""
+    num_threads = len(test.threads)
+    init_memory = tuple(sorted((var, 0) for var in test.variables))
+    initial = ((0,) * num_threads, init_memory, ())
+    outcomes: Set[Outcome] = set()
+    visited = set()
+    stack = [initial]
+    while stack:
+        state = stack.pop()
+        if state in visited:
+            continue
+        visited.add(state)
+        pcs, memory_t, regs_t = state
+        memory = dict(memory_t)
+        registers = dict(regs_t)
+        if all(pcs[t] >= len(test.threads[t].ops) for t in range(num_threads)):
+            outcomes.add(_make_outcome(registers, memory, include_memory))
+            continue
+        for t in range(num_threads):
+            if pcs[t] >= len(test.threads[t].ops):
+                continue
+            op = test.threads[t].ops[pcs[t]]
+            new_pcs = list(pcs)
+            new_pcs[t] += 1
+            if op.kind == "store":
+                new_memory = dict(memory)
+                new_memory[op.var] = op.value
+                stack.append((tuple(new_pcs), tuple(sorted(new_memory.items())), regs_t))
+            elif op.kind == "load":
+                new_regs = dict(registers)
+                new_regs[op.register] = memory.get(op.var, 0)
+                stack.append((tuple(new_pcs), memory_t, tuple(sorted(new_regs.items()))))
+            else:  # fence is a no-op under SC
+                stack.append((tuple(new_pcs), memory_t, regs_t))
+    return outcomes
+
+
+def outcome_matches(outcome: Outcome, assignment: Dict[str, int]) -> bool:
+    """``True`` iff ``outcome`` agrees with ``assignment`` on every key the
+    assignment mentions (used to look up "interesting" partial outcomes)."""
+    as_dict = dict(outcome)
+    return all(as_dict.get(key) == value for key, value in assignment.items())
+
+
+def any_outcome_matches(outcomes: Set[Outcome], assignment: Dict[str, int]) -> bool:
+    """``True`` iff some outcome in ``outcomes`` matches ``assignment``."""
+    return any(outcome_matches(outcome, assignment) for outcome in outcomes)

@@ -1,0 +1,24 @@
+"""CPU substrate: memory operations and the TSO core model.
+
+Workloads are written as Python generator *programs* that yield
+:class:`~repro.cpu.instruction.MemOp` objects (loads, stores, atomic RMWs,
+fences and compute delays) and receive load/RMW results back through
+``generator.send``.  The :class:`~repro.cpu.core_model.CoreModel` executes
+one such program with TSO semantics: loads are blocking and in order, stores
+commit into a FIFO write buffer and drain lazily, loads forward from the
+write buffer, and fences/RMWs drain the buffer first.
+"""
+
+from repro.cpu.instruction import Fence, Load, MemOp, RMW, Store, Work
+from repro.cpu.core_model import CoreContext, CoreModel
+
+__all__ = [
+    "MemOp",
+    "Load",
+    "Store",
+    "RMW",
+    "Fence",
+    "Work",
+    "CoreModel",
+    "CoreContext",
+]

@@ -1,0 +1,261 @@
+"""Program-driven TSO core model.
+
+:class:`CoreModel` executes one workload program (a generator yielding
+:class:`~repro.cpu.instruction.MemOp` objects) against its private L1
+controller with TSO semantics:
+
+* loads issue in program order and block until their value is available;
+  they first check the write buffer for store-to-load forwarding,
+* stores commit into the FIFO write buffer and the program continues; the
+  buffer drains to the L1 in the background, strictly in order, one store at
+  a time (which is how the protocol guarantees ``w -> w`` propagation order),
+* atomic RMWs and fences drain the write buffer before executing,
+* ``Work(n)`` models ``n`` cycles of non-memory computation.
+
+This is a deliberately simple timing model compared to the paper's
+out-of-order cores (see DESIGN.md): it preserves exactly the orderings TSO
+exposes to the coherence protocol, which is what the evaluation is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.cpu.instruction import Fence, Load, MemOp, RMW, Store, Work
+from repro.memsys.write_buffer import StoreBufferEntry, WriteBuffer
+from repro.sim.simulator import Simulator
+from repro.sim.stats import CoreStats
+
+
+@dataclass
+class CoreContext:
+    """Per-core context handed to workload programs.
+
+    Attributes:
+        core_id: id of the core running the program.
+        num_cores: total number of cores in the system (programs often use
+            this to partition work).
+        params: workload-specific parameters (working-set sizes, iteration
+            counts ...), shared across all cores of a workload.
+        results: dictionary the program can record results into via
+            :meth:`record`; inspected by tests and the consistency checker.
+        observer: optional callable ``(core_id, kind, address, value, time)``
+            invoked for every completed load / store / RMW; the litmus runner
+            uses it to collect execution histories.
+    """
+
+    core_id: int
+    num_cores: int = 1
+    params: Dict[str, Any] = field(default_factory=dict)
+    results: Dict[str, Any] = field(default_factory=dict)
+    observer: Optional[Callable[[int, str, int, int, int], None]] = None
+
+    def record(self, key: str, value: Any) -> None:
+        """Record a named result produced by the program."""
+        self.results[key] = value
+
+    def observe(self, kind: str, address: int, value: int, time: int) -> None:
+        """Forward a completed memory operation to the observer, if any."""
+        if self.observer is not None:
+            self.observer(self.core_id, kind, address, value, time)
+
+
+class CoreModel:
+    """Executes one workload program with TSO semantics.
+
+    Args:
+        core_id: this core's id.
+        sim: the simulation engine.
+        l1: the core's private L1 controller (any object implementing the
+            :class:`repro.protocols.base.L1ControllerInterface` protocol).
+        write_buffer: the core's FIFO store buffer.
+        stats: the :class:`CoreStats` to record into.
+        program: generator-function taking a :class:`CoreContext`.
+        context: the context passed to the program.
+        issue_latency: cycles consumed issuing any instruction (default 1).
+        on_finish: optional callable invoked once the program has completed
+            *and* the write buffer has fully drained.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        sim: Simulator,
+        l1,
+        write_buffer: WriteBuffer,
+        stats: CoreStats,
+        program: Callable[[CoreContext], Any],
+        context: CoreContext,
+        issue_latency: int = 1,
+        on_finish: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.sim = sim
+        self.l1 = l1
+        self.write_buffer = write_buffer
+        self.stats = stats
+        self.context = context
+        self.issue_latency = max(1, issue_latency)
+        self.on_finish = on_finish
+
+        self._generator = program(context)
+        self._started = False
+        self._program_done = False
+        self.finished = False
+
+        self._store_in_flight = False
+        self._stalled_store: Optional[Store] = None
+        self._pending_sync: Optional[MemOp] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the first instruction of the program."""
+        self.sim.schedule(0, lambda: self._advance(None))
+
+    @property
+    def done(self) -> bool:
+        """``True`` once the program finished and all stores drained."""
+        return self.finished
+
+    # -- program driving ------------------------------------------------------
+
+    def _advance(self, send_value: Optional[int]) -> None:
+        """Fetch the next operation from the program and execute it."""
+        if self._program_done:
+            return
+        try:
+            if not self._started:
+                self._started = True
+                op = next(self._generator)
+            else:
+                op = self._generator.send(send_value)
+        except StopIteration:
+            self._program_done = True
+            self._try_finish()
+            return
+        self._execute(op)
+
+    def _execute(self, op: MemOp) -> None:
+        if isinstance(op, Work):
+            self.stats.work_cycles += op.cycles
+            self.sim.schedule(max(1, op.cycles), lambda: self._advance(None))
+        elif isinstance(op, Load):
+            self._execute_load(op)
+        elif isinstance(op, Store):
+            self._execute_store(op)
+        elif isinstance(op, RMW):
+            self._execute_sync(op)
+        elif isinstance(op, Fence):
+            self._execute_sync(op)
+        else:
+            raise TypeError(f"program yielded unsupported operation {op!r}")
+
+    # -- loads ----------------------------------------------------------------
+
+    def _execute_load(self, op: Load) -> None:
+        self.stats.loads += 1
+        self.stats.memory_ops += 1
+        forwarded = self.write_buffer.forward(op.address)
+        if forwarded is not None:
+            # Store-to-load forwarding: the youngest buffered store to the
+            # same address supplies the value without touching the cache.
+            value = forwarded
+
+            def complete_forward() -> None:
+                self.context.observe("load", op.address, value, self.sim.now)
+                self._advance(value)
+
+            self.sim.schedule(self.issue_latency, complete_forward)
+            return
+
+        def complete(value: int) -> None:
+            self.context.observe("load", op.address, value, self.sim.now)
+            self._advance(value)
+
+        self.l1.issue_load(op.address, complete)
+
+    # -- stores ---------------------------------------------------------------
+
+    def _execute_store(self, op: Store) -> None:
+        self.stats.stores += 1
+        self.stats.memory_ops += 1
+        if self.write_buffer.is_full:
+            # Stall the program until the head of the buffer drains.
+            self.stats.wb_full_stalls += 1
+            self._stalled_store = op
+            return
+        self._commit_store(op)
+        self.sim.schedule(self.issue_latency, lambda: self._advance(None))
+
+    def _commit_store(self, op: Store) -> None:
+        entry = StoreBufferEntry(address=op.address, value=op.value,
+                                 issue_time=self.sim.now)
+        self.write_buffer.enqueue(entry)
+        self.context.observe("store", op.address, op.value, self.sim.now)
+        self._maybe_start_drain()
+
+    def _maybe_start_drain(self) -> None:
+        if self._store_in_flight or self.write_buffer.is_empty:
+            return
+        entry = self.write_buffer.head()
+        assert entry is not None
+        self._store_in_flight = True
+        self.l1.issue_store(entry.address, entry.value, self._store_drained)
+
+    def _store_drained(self) -> None:
+        self._store_in_flight = False
+        self.write_buffer.dequeue()
+        # A stalled store can now commit.
+        if self._stalled_store is not None and not self.write_buffer.is_full:
+            op = self._stalled_store
+            self._stalled_store = None
+            self._commit_store(op)
+            self.sim.schedule(self.issue_latency, lambda: self._advance(None))
+        # Fences / RMWs wait for an empty buffer.
+        if self._pending_sync is not None and self.write_buffer.is_empty:
+            pending = self._pending_sync
+            self._pending_sync = None
+            self._run_sync(pending)
+        self._maybe_start_drain()
+        self._try_finish()
+
+    # -- fences and atomics -----------------------------------------------------
+
+    def _execute_sync(self, op: MemOp) -> None:
+        if isinstance(op, RMW):
+            self.stats.rmws += 1
+            self.stats.memory_ops += 1
+        else:
+            self.stats.fences += 1
+        if self.write_buffer.is_empty and not self._store_in_flight:
+            self._run_sync(op)
+        else:
+            self._pending_sync = op
+
+    def _run_sync(self, op: MemOp) -> None:
+        if isinstance(op, RMW):
+            def complete(old_value: int) -> None:
+                self.context.observe("rmw", op.address, old_value, self.sim.now)
+                self._advance(old_value)
+
+            self.l1.issue_rmw(op.address, op.modify, complete)
+        elif isinstance(op, Fence):
+            self.l1.issue_fence(lambda: self._advance(None))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected sync operation {op!r}")
+
+    # -- completion -------------------------------------------------------------
+
+    def _try_finish(self) -> None:
+        if (
+            self._program_done
+            and not self.finished
+            and self.write_buffer.is_empty
+            and not self._store_in_flight
+        ):
+            self.finished = True
+            self.stats.finish_time = self.sim.now
+            if self.on_finish is not None:
+                self.on_finish(self.core_id)

@@ -1,0 +1,121 @@
+"""Memory operations yielded by workload programs.
+
+A workload program is a generator that yields these operations; the core
+model executes them with TSO semantics and, for value-producing operations
+(:class:`Load` and :class:`RMW`), sends the result back into the generator::
+
+    def spin_on_flag(ctx):
+        value = 0
+        while value == 0:
+            value = yield Load(FLAG_ADDR)
+            yield Work(20)          # polite polling backoff
+        data = yield Load(DATA_ADDR)
+        ctx.record("data", data)
+
+All operations target a single machine word; addresses are byte addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class MemOp:
+    """Base class for all operations a program can yield."""
+
+
+@dataclass(frozen=True)
+class Load(MemOp):
+    """A word load from ``address``; yields back the loaded value."""
+
+    address: int
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("load address must be non-negative")
+
+
+@dataclass(frozen=True)
+class Store(MemOp):
+    """A word store of ``value`` to ``address``.
+
+    Stores complete into the core's write buffer; the program continues
+    immediately (TSO's relaxed ``w -> r`` ordering).
+    """
+
+    address: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("store address must be non-negative")
+
+
+@dataclass(frozen=True)
+class RMW(MemOp):
+    """An atomic read-modify-write to ``address``.
+
+    The operation atomically reads the current value ``v``, writes
+    ``modify(v)`` and yields back the *old* value ``v``.  Convenience
+    constructors cover the common idioms used by the synchronization library:
+
+    * :meth:`fetch_add` — atomic fetch-and-add,
+    * :meth:`exchange` — atomic swap,
+    * :meth:`test_and_set` — swap-in 1,
+    * :meth:`compare_and_swap` — CAS; writes ``desired`` only if the current
+      value equals ``expected`` (old value still yielded back).
+
+    Under TSO an atomic operation is a full fence: the core drains its write
+    buffer before executing it.
+    """
+
+    address: int
+    modify: Callable[[int], int] = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("RMW address must be non-negative")
+
+    @staticmethod
+    def fetch_add(address: int, delta: int) -> "RMW":
+        """Atomic ``old = [address]; [address] = old + delta``."""
+        return RMW(address, lambda value: value + delta)
+
+    @staticmethod
+    def exchange(address: int, new_value: int) -> "RMW":
+        """Atomic swap: ``old = [address]; [address] = new_value``."""
+        return RMW(address, lambda _value: new_value)
+
+    @staticmethod
+    def test_and_set(address: int) -> "RMW":
+        """Atomic test-and-set (swap in 1); old value tells whether the lock
+        was already held."""
+        return RMW(address, lambda _value: 1)
+
+    @staticmethod
+    def compare_and_swap(address: int, expected: int, desired: int) -> "RMW":
+        """Atomic compare-and-swap."""
+        return RMW(address, lambda value: desired if value == expected else value)
+
+
+@dataclass(frozen=True)
+class Fence(MemOp):
+    """A full memory fence (``mfence``).
+
+    The core drains its write buffer; under TSO-CC the L1 additionally
+    self-invalidates all Shared lines (§3.6 of the paper).
+    """
+
+
+@dataclass(frozen=True)
+class Work(MemOp):
+    """``cycles`` of non-memory computation (models ALU work and pipeline
+    time between memory operations, and polling backoff in spin loops)."""
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError("work cycles must be non-negative")

@@ -1,0 +1,29 @@
+"""On-chip interconnect substrate.
+
+The paper models the on-chip network with GARNET (a detailed NoC simulator)
+configured as a 2D mesh with 16-byte flits.  This package provides a
+message-level equivalent:
+
+* :mod:`repro.interconnect.message` — coherence message types, payloads and
+  flit accounting (1 flit for control messages, ``ceil((header + data)/flit)``
+  for data messages).
+* :mod:`repro.interconnect.topology` — 2D mesh node placement and hop counts
+  (XY routing distance).
+* :mod:`repro.interconnect.network` — the network model: delivers messages
+  after a hop-proportional latency and accumulates per-class traffic
+  statistics in flits, which is exactly the quantity Figure 4 of the paper
+  reports.
+"""
+
+from repro.interconnect.message import Message, MessageClass, MessageType
+from repro.interconnect.network import Network, NetworkStats
+from repro.interconnect.topology import MeshTopology
+
+__all__ = [
+    "Message",
+    "MessageType",
+    "MessageClass",
+    "Network",
+    "NetworkStats",
+    "MeshTopology",
+]

@@ -1,0 +1,214 @@
+"""Message-level on-chip network model.
+
+The :class:`Network` delivers :class:`~repro.interconnect.message.Message`
+objects between registered node handlers after a latency proportional to the
+mesh hop count, and accounts traffic in flits — the metric Figure 4 of the
+paper reports.
+
+Latency model (per message)::
+
+    latency = router_latency * (hops + 1) + link_latency * hops
+              + (flits - 1)            # serialization of multi-flit packets
+
+with a minimum of ``min_latency`` cycles so that even a co-located L1/L2
+pair pays a small cache-access round trip.
+
+Traffic model (per message)::
+
+    flits = 1                          # control messages (8B header, 16B flit)
+    flits = ceil((8 + line) / 16)      # data messages
+
+Broadcasts (e.g. TSO-CC timestamp resets, SharedRO invalidations) are sent as
+one message per destination, each individually accounted — matching how a
+mesh without hardware multicast would carry them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional, Protocol
+
+from repro.interconnect.message import Message, MessageClass, MessageType
+from repro.interconnect.topology import MeshTopology
+
+
+class MessageHandler(Protocol):
+    """Anything that can receive coherence messages from the network."""
+
+    def handle_message(self, msg: Message) -> None:
+        """Process a delivered message."""
+
+
+class Scheduler(Protocol):
+    """Minimal scheduling interface the network needs (see
+    :class:`repro.sim.simulator.Simulator`)."""
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        ...
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` cycles in the future."""
+        ...
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic statistics.
+
+    Attributes:
+        messages: total messages delivered.
+        flits: total flits delivered (the Figure 4 metric).
+        hops_weighted_flits: sum of ``flits * hops`` (link traversals), a
+            finer-grained energy proxy.
+        by_class: messages per :class:`MessageClass`.
+        flits_by_class: flits per :class:`MessageClass`.
+        by_type: messages per :class:`MessageType`.
+    """
+
+    messages: int = 0
+    flits: int = 0
+    hops_weighted_flits: int = 0
+    by_class: Dict[MessageClass, int] = field(default_factory=lambda: defaultdict(int))
+    flits_by_class: Dict[MessageClass, int] = field(default_factory=lambda: defaultdict(int))
+    by_type: Dict[MessageType, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, msg: Message, flits: int, hops: int) -> None:
+        """Account one delivered message."""
+        self.messages += 1
+        self.flits += flits
+        self.hops_weighted_flits += flits * max(1, hops)
+        self.by_class[msg.mtype.msg_class] += 1
+        self.flits_by_class[msg.mtype.msg_class] += flits
+        self.by_type[msg.mtype] += 1
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a flat summary dictionary for reporting."""
+        summary: Dict[str, float] = {
+            "messages": self.messages,
+            "flits": self.flits,
+            "hops_weighted_flits": self.hops_weighted_flits,
+        }
+        for cls, count in self.flits_by_class.items():
+            summary[f"flits_{cls.value}"] = count
+        return summary
+
+
+class Network:
+    """Mesh network connecting L1 controllers and L2 tiles.
+
+    Args:
+        topology: node placement and hop counts.
+        scheduler: the simulation engine used to schedule deliveries.
+        link_latency: cycles per link traversal.
+        router_latency: cycles per router traversal.
+        min_latency: lower bound on end-to-end latency.
+        flit_bytes: flit size in bytes (Table 2: 16B).
+        header_bytes: control/header size in bytes.
+        line_bytes: cache line size in bytes (payload of data messages).
+    """
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        scheduler: Scheduler,
+        link_latency: int = 1,
+        router_latency: int = 1,
+        min_latency: int = 1,
+        flit_bytes: int = 16,
+        header_bytes: int = 8,
+        line_bytes: int = 64,
+    ) -> None:
+        self.topology = topology
+        self.scheduler = scheduler
+        self.link_latency = link_latency
+        self.router_latency = router_latency
+        self.min_latency = min_latency
+        self.flit_bytes = flit_bytes
+        self.header_bytes = header_bytes
+        self.line_bytes = line_bytes
+        self.stats = NetworkStats()
+        self._handlers: Dict[int, MessageHandler] = {}
+        self._in_flight = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, node_id: int, handler: MessageHandler) -> None:
+        """Attach ``handler`` to network endpoint ``node_id``."""
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id} already registered")
+        self._handlers[node_id] = handler
+
+    @property
+    def in_flight(self) -> int:
+        """Number of messages currently travelling through the network."""
+        return self._in_flight
+
+    # -- transmission ------------------------------------------------------
+
+    def latency(self, src: int, dst: int, flits: int) -> int:
+        """End-to-end latency of a ``flits``-sized message from ``src`` to
+        ``dst``."""
+        hops = self.topology.hops(src, dst)
+        raw = self.router_latency * (hops + 1) + self.link_latency * hops + (flits - 1)
+        return max(self.min_latency, raw)
+
+    def send(self, msg: Message, extra_delay: int = 0) -> int:
+        """Inject ``msg`` into the network; returns the delivery latency.
+
+        The destination handler's ``handle_message`` runs after the computed
+        latency plus ``extra_delay`` (used by controllers to model their own
+        occupancy / access latencies without scheduling separate events).
+        """
+        if msg.dst not in self._handlers:
+            raise ValueError(f"no handler registered for destination node {msg.dst}")
+        flits = msg.flits(self.flit_bytes, self.header_bytes, self.line_bytes)
+        hops = self.topology.hops(msg.src, msg.dst)
+        self.stats.record(msg, flits, hops)
+        msg.send_time = self.scheduler.now
+        delay = self.latency(msg.src, msg.dst, flits) + max(0, extra_delay)
+        handler = self._handlers[msg.dst]
+        self._in_flight += 1
+
+        def deliver() -> None:
+            self._in_flight -= 1
+            handler.handle_message(msg)
+
+        self.scheduler.schedule(delay, deliver)
+        return delay
+
+    def broadcast(
+        self,
+        template: Message,
+        destinations: Iterable[int],
+        exclude: Optional[int] = None,
+        extra_delay: int = 0,
+    ) -> int:
+        """Send a copy of ``template`` to every node in ``destinations``.
+
+        Args:
+            template: message to replicate (``dst`` is overwritten per copy).
+            destinations: target node ids.
+            exclude: optional node id to skip (typically the sender).
+            extra_delay: forwarded to :meth:`send` for each copy.
+
+        Returns:
+            The number of copies sent.
+        """
+        count = 0
+        for dst in destinations:
+            if exclude is not None and dst == exclude:
+                continue
+            copy = Message(
+                mtype=template.mtype,
+                src=template.src,
+                dst=dst,
+                address=template.address,
+                data=dict(template.data) if template.data is not None else None,
+                info=dict(template.info),
+            )
+            self.send(copy, extra_delay=extra_delay)
+            count += 1
+        return count

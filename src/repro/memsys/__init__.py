@@ -1,0 +1,45 @@
+"""Memory-system substrate: caches, write buffers, main memory, addressing.
+
+This package provides the hardware building blocks that both the MESI
+baseline and the TSO-CC protocol controllers are built on:
+
+* :mod:`repro.memsys.address` — address arithmetic (line alignment, set
+  indexing, NUCA tile interleaving).
+* :mod:`repro.memsys.cacheline` — per-line metadata containers holding both
+  functional data values and protocol metadata (state, timestamps, access
+  counters, owner/sharer information).
+* :mod:`repro.memsys.replacement` — replacement policies (LRU, FIFO, random).
+* :mod:`repro.memsys.cache` — set-associative cache arrays.
+* :mod:`repro.memsys.write_buffer` — the FIFO store buffer that gives a TSO
+  core its relaxed ``w -> r`` ordering.
+* :mod:`repro.memsys.memory` — the backing main-memory model (data values and
+  access latency).
+"""
+
+from repro.memsys.address import AddressMap
+from repro.memsys.cache import CacheArray, CacheLookupResult
+from repro.memsys.cacheline import CacheLine
+from repro.memsys.memory import MainMemory
+from repro.memsys.replacement import (
+    FIFOReplacement,
+    LRUReplacement,
+    RandomReplacement,
+    ReplacementPolicy,
+    make_replacement_policy,
+)
+from repro.memsys.write_buffer import StoreBufferEntry, WriteBuffer
+
+__all__ = [
+    "AddressMap",
+    "CacheArray",
+    "CacheLookupResult",
+    "CacheLine",
+    "MainMemory",
+    "ReplacementPolicy",
+    "LRUReplacement",
+    "FIFOReplacement",
+    "RandomReplacement",
+    "make_replacement_policy",
+    "WriteBuffer",
+    "StoreBufferEntry",
+]

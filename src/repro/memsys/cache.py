@@ -1,0 +1,247 @@
+"""Set-associative cache arrays.
+
+:class:`CacheArray` is the tag/data array used by both L1 caches and L2 tiles.
+It stores :class:`~repro.memsys.cacheline.CacheLine` objects, handles set
+indexing through an :class:`~repro.memsys.address.AddressMap`, and delegates
+victim selection to a :class:`~repro.memsys.replacement.ReplacementPolicy`.
+
+The array itself is protocol-agnostic; protocol controllers interpret line
+states and decide what to do with victims returned by :meth:`CacheArray.insert`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.memsys.address import AddressMap, is_power_of_two
+from repro.memsys.cacheline import CacheLine
+from repro.memsys.replacement import ReplacementPolicy, make_replacement_policy
+
+
+@dataclass
+class CacheLookupResult:
+    """Result of a cache lookup: whether it hit, and the line if present."""
+
+    hit: bool
+    line: Optional[CacheLine]
+
+
+class CacheArray:
+    """A set-associative array of :class:`CacheLine` objects.
+
+    Args:
+        size_bytes: total capacity in bytes.
+        assoc: associativity (ways per set).
+        address_map: shared address arithmetic helper.
+        replacement: replacement policy instance or name (default LRU).
+        name: human-readable name used in statistics and error messages.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        assoc: int,
+        address_map: AddressMap,
+        replacement: ReplacementPolicy | str = "lru",
+        name: str = "cache",
+    ) -> None:
+        if size_bytes <= 0 or assoc <= 0:
+            raise ValueError("size_bytes and assoc must be positive")
+        if size_bytes % (assoc * address_map.line_size) != 0:
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by "
+                f"assoc*line_size = {assoc * address_map.line_size}"
+            )
+        num_sets = size_bytes // (assoc * address_map.line_size)
+        if not is_power_of_two(num_sets):
+            raise ValueError(
+                f"{name}: number of sets ({num_sets}) must be a power of two"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.num_sets = num_sets
+        self.address_map = address_map
+        if isinstance(replacement, str):
+            self.replacement = make_replacement_policy(replacement)
+        else:
+            self.replacement = replacement
+        # sets[set_index][way] -> CacheLine or None
+        self._sets: List[List[Optional[CacheLine]]] = [
+            [None] * assoc for _ in range(num_sets)
+        ]
+        # line_address -> (set_index, way) for O(1) lookup
+        self._index: Dict[int, tuple] = {}
+
+    # -- basic queries ----------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of valid lines currently resident."""
+        return len(self._index)
+
+    def __contains__(self, address: int) -> bool:
+        return self.address_map.line_address(address) in self._index
+
+    def lookup(self, address: int, touch: bool = True) -> CacheLookupResult:
+        """Look up the line containing ``address``.
+
+        Args:
+            address: any byte address within the line.
+            touch: whether to update replacement state on a hit.
+        """
+        line_addr = self.address_map.line_address(address)
+        loc = self._index.get(line_addr)
+        if loc is None:
+            return CacheLookupResult(hit=False, line=None)
+        set_index, way = loc
+        if touch:
+            self.replacement.touch(set_index, way)
+        return CacheLookupResult(hit=True, line=self._sets[set_index][way])
+
+    def get_line(self, address: int) -> Optional[CacheLine]:
+        """Return the resident line containing ``address`` or ``None``."""
+        return self.lookup(address, touch=False).line
+
+    def lines(self) -> Iterator[CacheLine]:
+        """Iterate over all resident lines (no particular order)."""
+        for line_addr in list(self._index):
+            loc = self._index.get(line_addr)
+            if loc is None:
+                continue
+            set_index, way = loc
+            line = self._sets[set_index][way]
+            if line is not None:
+                yield line
+
+    def set_occupancy(self, address: int) -> int:
+        """Return the number of valid lines in the set that ``address`` maps
+        to (useful in tests and for conflict statistics)."""
+        set_index = self.address_map.set_index(address, self.num_sets)
+        return sum(1 for line in self._sets[set_index] if line is not None)
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(
+        self,
+        line: CacheLine,
+        victim_filter: Optional[Callable[[CacheLine], bool]] = None,
+    ) -> Optional[CacheLine]:
+        """Insert ``line``; return the evicted victim line, if any.
+
+        If the line's address is already resident, the resident entry is
+        replaced in place and no victim is produced.
+
+        Args:
+            line: the line to insert (its ``address`` must be line-aligned).
+            victim_filter: optional predicate restricting which resident
+                lines may be chosen as victims (e.g. a protocol may forbid
+                evicting lines in transient states).  If no candidate
+                satisfies the filter, a :class:`RuntimeError` is raised.
+        """
+        line_addr = self.address_map.line_address(line.address)
+        if line_addr != line.address:
+            raise ValueError(
+                f"{self.name}: inserted line address {line.address:#x} is not "
+                f"aligned to {self.address_map.line_size} bytes"
+            )
+        existing = self._index.get(line_addr)
+        if existing is not None:
+            set_index, way = existing
+            self._sets[set_index][way] = line
+            self.replacement.touch(set_index, way)
+            return None
+
+        set_index = self.address_map.set_index(line_addr, self.num_sets)
+        ways = self._sets[set_index]
+        for way, resident in enumerate(ways):
+            if resident is None:
+                ways[way] = line
+                self._index[line_addr] = (set_index, way)
+                self.replacement.fill(set_index, way)
+                return None
+
+        candidates = list(range(self.assoc))
+        if victim_filter is not None:
+            candidates = [
+                way for way in candidates if victim_filter(ways[way])  # type: ignore[arg-type]
+            ]
+            if not candidates:
+                raise RuntimeError(
+                    f"{self.name}: no evictable victim in set {set_index} "
+                    f"for line {line_addr:#x}"
+                )
+        victim_way = self.replacement.victim(set_index, candidates)
+        victim = ways[victim_way]
+        assert victim is not None
+        del self._index[victim.address]
+        self.replacement.invalidate(set_index, victim_way)
+        ways[victim_way] = line
+        self._index[line_addr] = (set_index, victim_way)
+        self.replacement.fill(set_index, victim_way)
+        return victim
+
+    def needs_eviction(self, address: int) -> bool:
+        """Return ``True`` if inserting a line for ``address`` would require
+        evicting a resident line (i.e. the target set is full and the address
+        is not already resident)."""
+        line_addr = self.address_map.line_address(address)
+        if line_addr in self._index:
+            return False
+        set_index = self.address_map.set_index(line_addr, self.num_sets)
+        return all(entry is not None for entry in self._sets[set_index])
+
+    def pick_victim(
+        self,
+        address: int,
+        victim_filter: Optional[Callable[[CacheLine], bool]] = None,
+    ) -> Optional[CacheLine]:
+        """Return the line that *would* be evicted to make room for
+        ``address`` (without evicting it), or ``None`` if no eviction is
+        needed."""
+        if not self.needs_eviction(address):
+            return None
+        set_index = self.address_map.set_index(address, self.num_sets)
+        ways = self._sets[set_index]
+        candidates = list(range(self.assoc))
+        if victim_filter is not None:
+            candidates = [
+                way for way in candidates if victim_filter(ways[way])  # type: ignore[arg-type]
+            ]
+            if not candidates:
+                return None
+        victim_way = self.replacement.victim(set_index, candidates)
+        return ways[victim_way]
+
+    def allocate(self, address: int) -> CacheLine:
+        """Convenience helper: create an empty line for ``address`` and
+        insert it, raising if an eviction would be required.
+
+        Protocol controllers that must handle victims should call
+        :meth:`insert` directly.
+        """
+        line_addr = self.address_map.line_address(address)
+        if self.needs_eviction(line_addr):
+            raise RuntimeError(
+                f"{self.name}: allocate({line_addr:#x}) would require eviction"
+            )
+        line = CacheLine(address=line_addr)
+        self.insert(line)
+        return line
+
+    def remove(self, address: int) -> Optional[CacheLine]:
+        """Remove and return the line containing ``address`` (or ``None``)."""
+        line_addr = self.address_map.line_address(address)
+        loc = self._index.pop(line_addr, None)
+        if loc is None:
+            return None
+        set_index, way = loc
+        line = self._sets[set_index][way]
+        self._sets[set_index][way] = None
+        self.replacement.invalidate(set_index, way)
+        return line
+
+    def clear(self) -> None:
+        """Remove every resident line."""
+        for line in list(self.lines()):
+            self.remove(line.address)

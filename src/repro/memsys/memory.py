@@ -1,0 +1,79 @@
+"""Main-memory model.
+
+The memory model is functional (it stores actual data values per byte offset
+within each line) plus a simple latency model matching Table 2 of the paper:
+a uniformly distributed latency between ``latency_min`` and ``latency_max``
+cycles (120-230 in the paper), drawn deterministically from a seeded PRNG so
+simulations are reproducible.
+
+Memory sits behind the L2 tiles; only L2 controllers talk to it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.memsys.address import AddressMap
+
+
+class MainMemory:
+    """Backing store for data values plus an access-latency model.
+
+    Args:
+        address_map: shared address arithmetic helper.
+        latency_min: minimum access latency in cycles.
+        latency_max: maximum access latency in cycles.
+        seed: PRNG seed used for the latency draw (deterministic).
+    """
+
+    def __init__(
+        self,
+        address_map: AddressMap,
+        latency_min: int = 120,
+        latency_max: int = 230,
+        seed: int = 1,
+    ) -> None:
+        if latency_min <= 0 or latency_max < latency_min:
+            raise ValueError("invalid memory latency range")
+        self.address_map = address_map
+        self.latency_min = latency_min
+        self.latency_max = latency_max
+        self._rng = random.Random(seed)
+        # line address -> {offset: value}
+        self._lines: Dict[int, Dict[int, int]] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def access_latency(self) -> int:
+        """Return the latency (cycles) of one memory access."""
+        return self._rng.randint(self.latency_min, self.latency_max)
+
+    def read_line(self, address: int) -> Dict[int, int]:
+        """Return a copy of the data of the line containing ``address``.
+
+        Lines never written return an empty mapping (all zeros).
+        """
+        self.reads += 1
+        line_addr = self.address_map.line_address(address)
+        return dict(self._lines.get(line_addr, {}))
+
+    def write_line(self, address: int, data: Dict[int, int]) -> None:
+        """Write back the full contents of the line containing ``address``."""
+        self.writes += 1
+        line_addr = self.address_map.line_address(address)
+        stored = self._lines.setdefault(line_addr, {})
+        stored.update(data)
+
+    def peek_word(self, address: int) -> int:
+        """Debug/test helper: read the value at ``address`` without counting
+        the access as a memory read."""
+        line_addr = self.address_map.line_address(address)
+        offset = self.address_map.line_offset(address)
+        return self._lines.get(line_addr, {}).get(offset, 0)
+
+    def poke_word(self, address: int, value: int) -> None:
+        """Debug/test helper: directly set the value at ``address``."""
+        line_addr = self.address_map.line_address(address)
+        offset = self.address_map.line_offset(address)
+        self._lines.setdefault(line_addr, {})[offset] = value

@@ -1,0 +1,39 @@
+"""Coherence protocol framework and baseline protocols.
+
+* :mod:`repro.protocols.base` — the controller interfaces shared by every
+  protocol plus base classes with the plumbing (message sending, per-line
+  transaction tracking, request blocking, memory fetches) that both the MESI
+  baseline and TSO-CC build on.
+* :mod:`repro.protocols.mesi` — the MESI directory protocol with a full
+  sharing vector: the paper's baseline.
+* :mod:`repro.protocols.registry` — name-to-configuration mapping for every
+  protocol configuration evaluated in the paper (``MESI``,
+  ``CC-shared-to-L2``, ``TSO-CC-4-basic``, ``TSO-CC-4-noreset``,
+  ``TSO-CC-4-12-3``, ``TSO-CC-4-12-0``, ``TSO-CC-4-9-3``).
+"""
+
+from repro.protocols.base import (
+    BaseL1Controller,
+    BaseL2Controller,
+    L1ControllerInterface,
+    L2ControllerInterface,
+    PendingTransaction,
+)
+from repro.protocols.registry import (
+    PAPER_CONFIGURATIONS,
+    ProtocolSpec,
+    get_protocol_spec,
+    list_protocol_names,
+)
+
+__all__ = [
+    "L1ControllerInterface",
+    "L2ControllerInterface",
+    "BaseL1Controller",
+    "BaseL2Controller",
+    "PendingTransaction",
+    "ProtocolSpec",
+    "PAPER_CONFIGURATIONS",
+    "get_protocol_spec",
+    "list_protocol_names",
+]

@@ -1,0 +1,383 @@
+"""Controller interfaces and shared plumbing for coherence protocols.
+
+Both the MESI baseline and the TSO-CC protocol are implemented as a pair of
+message-driven controllers:
+
+* an **L1 controller** per core, servicing the core's loads / stores / RMWs /
+  fences against the private L1 cache and talking to the home L2 tile over
+  the network, and
+* an **L2 controller** per NUCA tile, owning a slice of the shared cache
+  (with directory metadata where the protocol needs it) and the path to main
+  memory.
+
+The base classes here provide the protocol-independent plumbing:
+
+* message construction and sending,
+* home-tile lookup,
+* per-line *pending transaction* tracking at the L1 (one outstanding
+  transaction per line; later core operations on the same line are deferred
+  and replayed on completion),
+* per-line request *blocking* at the L2 (while a line is in a transient
+  state — e.g. waiting for an owner's acknowledgement — later requests are
+  queued and replayed in arrival order), and
+* the memory fetch / writeback path.
+
+Protocol subclasses implement the actual state machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Protocol
+
+from repro.interconnect.message import Message, MessageType
+from repro.interconnect.network import Network
+from repro.interconnect.topology import MeshTopology
+from repro.memsys.address import AddressMap
+from repro.memsys.cache import CacheArray
+from repro.memsys.cacheline import CacheLine
+from repro.memsys.memory import MainMemory
+from repro.sim.simulator import Simulator
+from repro.sim.stats import L1Stats, L2Stats
+
+
+class L1ControllerInterface(Protocol):
+    """What a :class:`~repro.cpu.core_model.CoreModel` needs from its L1."""
+
+    def issue_load(self, address: int, callback: Callable[[int], None]) -> None:
+        """Perform a word load; ``callback(value)`` fires on completion."""
+
+    def issue_store(self, address: int, value: int, callback: Callable[[], None]) -> None:
+        """Perform a word store; ``callback()`` fires once the store has been
+        performed in the L1 (i.e. the line is writable and updated)."""
+
+    def issue_rmw(
+        self, address: int, modify: Callable[[int], int], callback: Callable[[int], None]
+    ) -> None:
+        """Perform an atomic read-modify-write; ``callback(old_value)``."""
+
+    def issue_fence(self, callback: Callable[[], None]) -> None:
+        """Perform a fence; ``callback()`` fires when it completes."""
+
+    def handle_message(self, msg: Message) -> None:
+        """Process a network message addressed to this controller."""
+
+
+class L2ControllerInterface(Protocol):
+    """Network-facing interface of an L2 tile controller."""
+
+    def handle_message(self, msg: Message) -> None:
+        """Process a network message addressed to this tile."""
+
+
+@dataclass
+class PendingTransaction:
+    """One outstanding L1 miss / upgrade transaction for a cache line.
+
+    Attributes:
+        kind: ``"load"``, ``"store"``, ``"rmw"`` or ``"fence"``.
+        line_address: the line the transaction concerns.
+        address: the word address of the triggering operation.
+        value: store value (stores only).
+        modify: RMW modify function (RMWs only).
+        callback: completion callback supplied by the core model.
+        start_time: issue time, used for latency statistics.
+        acks_expected: invalidation acknowledgements still outstanding
+            (protocols that collect acks at the requester).
+        data_message: data response received while acks were still pending.
+        deferred: operations on the same line issued while this transaction
+            was outstanding; replayed once it completes.
+        meta: protocol-specific scratch data.
+    """
+
+    kind: str
+    line_address: int
+    address: int
+    value: Optional[int] = None
+    modify: Optional[Callable[[int], int]] = None
+    callback: Optional[Callable] = None
+    start_time: int = 0
+    acks_expected: int = 0
+    data_message: Optional[Message] = None
+    deferred: List[Callable[[], None]] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class BaseL1Controller:
+    """Shared plumbing for L1 cache controllers.
+
+    Args:
+        core_id: id of the core this L1 belongs to.
+        sim: simulation engine.
+        network: on-chip network.
+        topology: mesh topology (for node ids).
+        address_map: address arithmetic helper.
+        cache: the private L1 data cache array.
+        stats: statistics sink.
+        hit_latency: L1 hit latency in cycles.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        sim: Simulator,
+        network: Network,
+        topology: MeshTopology,
+        address_map: AddressMap,
+        cache: CacheArray,
+        stats: L1Stats,
+        hit_latency: int = 3,
+    ) -> None:
+        self.core_id = core_id
+        self.sim = sim
+        self.network = network
+        self.topology = topology
+        self.address_map = address_map
+        self.cache = cache
+        self.stats = stats
+        self.hit_latency = hit_latency
+        self.node_id = topology.l1_node(core_id)
+        self._pending: Dict[int, PendingTransaction] = {}
+        self._evicting: Dict[int, CacheLine] = {}
+        self._evict_waiters: Dict[int, List[Callable[[], None]]] = {}
+        network.register(self.node_id, self)
+
+    # -- messaging ------------------------------------------------------------
+
+    def home_node(self, address: int) -> int:
+        """Network node id of the home L2 tile for ``address``."""
+        return self.topology.l2_node(self.address_map.home_tile(address))
+
+    def send(
+        self,
+        mtype: MessageType,
+        dst: int,
+        address: Optional[int] = None,
+        data: Optional[Dict[int, int]] = None,
+        delay: int = 0,
+        **info: Any,
+    ) -> Message:
+        """Build and send a message from this controller.
+
+        ``delay`` adds controller occupancy (e.g. tag access latency) on top
+        of the network latency before the message is delivered.
+        """
+        msg = Message(mtype=mtype, src=self.node_id, dst=dst, address=address,
+                      data=data, info=info)
+        self.network.send(msg, extra_delay=delay)
+        return msg
+
+    # -- pending transaction management ----------------------------------------
+
+    def pending_for(self, address: int) -> Optional[PendingTransaction]:
+        """Return the outstanding transaction for the line of ``address``."""
+        return self._pending.get(self.address_map.line_address(address))
+
+    def has_pending(self, address: int) -> bool:
+        """``True`` if the line of ``address`` has an outstanding transaction."""
+        return self.address_map.line_address(address) in self._pending
+
+    def start_transaction(self, txn: PendingTransaction) -> None:
+        """Register ``txn`` as the outstanding transaction for its line."""
+        if txn.line_address in self._pending:
+            raise RuntimeError(
+                f"L1[{self.core_id}]: line {txn.line_address:#x} already has a "
+                f"pending transaction"
+            )
+        self._pending[txn.line_address] = txn
+
+    def defer(self, address: int, retry: Callable[[], None]) -> bool:
+        """If the line of ``address`` has an outstanding transaction, defer
+        ``retry`` until it completes and return ``True``."""
+        line_addr = self.address_map.line_address(address)
+        txn = self._pending.get(line_addr)
+        if txn is None:
+            return False
+        txn.deferred.append(retry)
+        return True
+
+    def finish_transaction(self, line_address: int) -> None:
+        """Complete the transaction on ``line_address`` and replay deferred
+        operations (each rescheduled at the current time)."""
+        txn = self._pending.pop(line_address, None)
+        if txn is None:
+            return
+        for retry in txn.deferred:
+            self.sim.schedule(0, retry)
+
+    # -- eviction buffer ---------------------------------------------------------
+
+    def hold_evicting(self, line: CacheLine) -> None:
+        """Hold a line being written back until the L2 acknowledges it, so
+        forwarded requests that race with the writeback can still be served."""
+        self._evicting[line.address] = line
+
+    def evicting_line(self, address: int) -> Optional[CacheLine]:
+        """Return the in-flight-writeback line for ``address`` if any."""
+        return self._evicting.get(self.address_map.line_address(address))
+
+    def release_evicting(self, address: int) -> Optional[CacheLine]:
+        """Drop (and return) the in-flight-writeback line for ``address`` and
+        wake any operations that were waiting for the writeback to finish."""
+        line_addr = self.address_map.line_address(address)
+        line = self._evicting.pop(line_addr, None)
+        for retry in self._evict_waiters.pop(line_addr, []):
+            self.sim.schedule(0, retry)
+        return line
+
+    def wait_for_writeback(self, address: int, retry: Callable[[], None]) -> bool:
+        """Defer ``retry`` until an in-flight writeback of the line of
+        ``address`` has been acknowledged; returns ``True`` if deferred.
+
+        Re-requesting a line whose writeback is still in flight could let the
+        L2 respond with stale data, so core operations must wait.
+        """
+        line_addr = self.address_map.line_address(address)
+        if line_addr in self._evicting:
+            self._evict_waiters.setdefault(line_addr, []).append(retry)
+            return True
+        return False
+
+    # -- helpers -------------------------------------------------------------------
+
+    def after(self, delay: int, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` after ``delay`` cycles."""
+        self.sim.schedule(delay, fn)
+
+    def complete_with_latency(self, fn: Callable[[], None], latency: Optional[int] = None) -> None:
+        """Run ``fn`` after the L1 hit latency (or ``latency`` cycles)."""
+        self.sim.schedule(self.hit_latency if latency is None else latency, fn)
+
+
+class BaseL2Controller:
+    """Shared plumbing for L2 tile controllers.
+
+    Args:
+        tile_id: id of this L2 tile.
+        sim: simulation engine.
+        network: on-chip network.
+        topology: mesh topology.
+        address_map: address arithmetic helper.
+        cache: this tile's slice of the shared cache.
+        memory: backing main memory.
+        stats: statistics sink.
+        access_latency: tag/data access latency of the tile in cycles.
+    """
+
+    def __init__(
+        self,
+        tile_id: int,
+        sim: Simulator,
+        network: Network,
+        topology: MeshTopology,
+        address_map: AddressMap,
+        cache: CacheArray,
+        memory: MainMemory,
+        stats: L2Stats,
+        access_latency: int = 20,
+    ) -> None:
+        self.tile_id = tile_id
+        self.sim = sim
+        self.network = network
+        self.topology = topology
+        self.address_map = address_map
+        self.cache = cache
+        self.memory = memory
+        self.stats = stats
+        self.access_latency = access_latency
+        self.node_id = topology.l2_node(tile_id)
+        # line address -> queued messages waiting for the line to unblock
+        self._blocked: Dict[int, List[Message]] = {}
+        network.register(self.node_id, self)
+
+    # -- messaging ------------------------------------------------------------
+
+    def send(
+        self,
+        mtype: MessageType,
+        dst: int,
+        address: Optional[int] = None,
+        data: Optional[Dict[int, int]] = None,
+        delay: int = 0,
+        **info: Any,
+    ) -> Message:
+        """Build and send a message from this tile.
+
+        ``delay`` adds tile occupancy (e.g. the tag/data access latency) on
+        top of the network latency before the message is delivered.
+        """
+        msg = Message(mtype=mtype, src=self.node_id, dst=dst, address=address,
+                      data=data, info=info)
+        self.network.send(msg, extra_delay=delay)
+        return msg
+
+    def l1_node(self, core_id: int) -> int:
+        """Node id of core ``core_id``'s L1 controller."""
+        return self.topology.l1_node(core_id)
+
+    # -- line blocking -----------------------------------------------------------
+
+    def is_blocked(self, address: int) -> bool:
+        """``True`` while the line of ``address`` is in a transient state."""
+        return self.address_map.line_address(address) in self._blocked
+
+    def block(self, address: int) -> None:
+        """Put the line of ``address`` into a transient (blocked) state."""
+        line_addr = self.address_map.line_address(address)
+        if line_addr in self._blocked:
+            raise RuntimeError(
+                f"L2[{self.tile_id}]: line {line_addr:#x} is already blocked"
+            )
+        self._blocked[line_addr] = []
+
+    def defer_if_blocked(self, msg: Message) -> bool:
+        """Queue ``msg`` for replay if its line is blocked; return ``True``
+        if it was queued."""
+        if msg.address is None:
+            return False
+        line_addr = self.address_map.line_address(msg.address)
+        queue = self._blocked.get(line_addr)
+        if queue is None:
+            return False
+        queue.append(msg)
+        return True
+
+    def unblock(self, address: int) -> None:
+        """Leave the transient state for the line of ``address`` and replay
+        any queued messages in arrival order."""
+        line_addr = self.address_map.line_address(address)
+        queue = self._blocked.pop(line_addr, None)
+        if not queue:
+            return
+        for queued in queue:
+            self.sim.schedule(0, lambda m=queued: self.handle_message(m))
+
+    # -- memory path ---------------------------------------------------------------
+
+    def fetch_from_memory(self, address: int, callback: Callable[[Dict[int, int]], None]) -> None:
+        """Read the line of ``address`` from main memory; ``callback(data)``
+        fires after the memory latency."""
+        self.stats.memory_reads += 1
+        latency = self.memory.access_latency()
+        line_addr = self.address_map.line_address(address)
+
+        def complete() -> None:
+            callback(self.memory.read_line(line_addr))
+
+        self.sim.schedule(latency, complete)
+
+    def writeback_to_memory(self, address: int, data: Dict[int, int]) -> None:
+        """Write the line of ``address`` back to main memory (fire and
+        forget; latency is off the critical path)."""
+        self.stats.memory_writes += 1
+        self.memory.write_line(self.address_map.line_address(address), data)
+
+    # -- misc -------------------------------------------------------------------------
+
+    def after(self, delay: int, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` after ``delay`` cycles."""
+        self.sim.schedule(delay, fn)
+
+    def handle_message(self, msg: Message) -> None:  # pragma: no cover - abstract
+        """Process a network message (implemented by protocol subclasses)."""
+        raise NotImplementedError

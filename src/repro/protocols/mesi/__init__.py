@@ -1,0 +1,23 @@
+"""MESI directory protocol — the paper's baseline.
+
+A conventional eager, invalidation-based MESI protocol with an inclusive
+shared L2 whose embedded directory tracks, per line, either the exclusive
+owner or the full set of sharers (the *sharing vector* whose linear growth
+with core count motivates TSO-CC).
+
+* :mod:`repro.protocols.mesi.states` — L1 and directory state enums.
+* :mod:`repro.protocols.mesi.l1_controller` — private-cache controller.
+* :mod:`repro.protocols.mesi.l2_controller` — shared-cache / directory
+  controller (invalidation fan-out, owner forwarding, recalls).
+"""
+
+from repro.protocols.mesi.l1_controller import MESIL1Controller
+from repro.protocols.mesi.l2_controller import MESIL2Controller
+from repro.protocols.mesi.states import MESIDirState, MESIL1State
+
+__all__ = [
+    "MESIL1State",
+    "MESIDirState",
+    "MESIL1Controller",
+    "MESIL2Controller",
+]

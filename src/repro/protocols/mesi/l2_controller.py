@@ -1,0 +1,365 @@
+"""MESI shared-cache (L2) tile controller with an embedded full-map directory.
+
+Each tile owns a slice of the inclusive shared L2.  For every resident line
+the directory tracks either:
+
+* ``VALID`` — no L1 copies,
+* ``SHARED`` — the full set of sharers (the sharing vector whose storage cost
+  Figure 2 of the paper quantifies), or
+* ``EXCLUSIVE`` — a single owner L1, whose copy may be dirty.
+
+Writes to shared lines trigger invalidation fan-out: the directory sends an
+``INV`` to every sharer, collects the acknowledgements and only then grants
+write permission — the eager behaviour whose cost TSO-CC avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.interconnect.message import Message, MessageType
+from repro.memsys.cacheline import CacheLine
+from repro.protocols.base import BaseL2Controller
+from repro.protocols.mesi.states import MESIDirState
+
+
+class MESIL2Controller(BaseL2Controller):
+    """Directory / shared-cache controller for one L2 tile (MESI)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # line address -> in-progress directory transaction
+        self._dir_txn: Dict[int, Dict] = {}
+        # line address -> in-progress recall (L2 eviction) bookkeeping
+        self._recalls: Dict[int, Dict] = {}
+
+    # ------------------------------------------------------------------ dispatch
+
+    def handle_message(self, msg: Message) -> None:
+        """Process one message; requests to lines in transient states are
+        queued and replayed when the line unblocks.
+
+        Writebacks (Put*) are deferred as well: processing a PutM while a
+        forwarded request to its sender is still in flight would acknowledge
+        the writeback early and let the owner drop the line before serving
+        the forward.
+        """
+        if msg.mtype in (MessageType.GETS, MessageType.GETX,
+                         MessageType.PUTS, MessageType.PUTE, MessageType.PUTM):
+            if self.defer_if_blocked(msg):
+                return
+        handler = {
+            MessageType.GETS: self._on_gets,
+            MessageType.GETX: self._on_getx,
+            MessageType.DOWNGRADE_ACK: self._on_downgrade_ack,
+            MessageType.TRANSFER_ACK: self._on_transfer_ack,
+            MessageType.INV_ACK: self._on_inv_ack,
+            MessageType.PUTS: self._on_puts,
+            MessageType.PUTE: self._on_pute,
+            MessageType.PUTM: self._on_putm,
+            MessageType.WB_DATA: self._on_wb_data,
+        }.get(msg.mtype)
+        if handler is None:
+            raise RuntimeError(f"MESI L2[{self.tile_id}]: unexpected message {msg!r}")
+        handler(msg)
+
+    # ------------------------------------------------------------------ reads
+
+    def _on_gets(self, msg: Message) -> None:
+        assert msg.address is not None
+        self.stats.requests["GetS"] += 1
+        requester = msg.info["requester"]
+        line = self.cache.get_line(msg.address)
+        if line is None:
+            self._fetch_and_then(msg)
+            return
+        if line.state is MESIDirState.VALID:
+            line.state = MESIDirState.EXCLUSIVE
+            line.owner = requester
+            line.sharers = set()
+            self.send(MessageType.DATA_E, self.l1_node(requester),
+                      address=line.address, data=line.copy_data(),
+                      delay=self.access_latency)
+            return
+        if line.state is MESIDirState.SHARED:
+            line.sharers.add(requester)
+            self.send(MessageType.DATA_S, self.l1_node(requester),
+                      address=line.address, data=line.copy_data(),
+                      delay=self.access_latency)
+            return
+        # EXCLUSIVE at another owner: forward and wait for the downgrade ack.
+        if line.owner == requester:
+            # Stale owner information (e.g. a request racing its own PutE);
+            # simply re-grant exclusivity.
+            self.send(MessageType.DATA_E, self.l1_node(requester),
+                      address=line.address, data=line.copy_data(),
+                      delay=self.access_latency)
+            return
+        self.stats.forwarded_requests += 1
+        self.block(line.address)
+        self._dir_txn[line.address] = {"type": "gets_fwd", "requester": requester}
+        self.send(MessageType.FWD_GETS, self.l1_node(line.owner),
+                  address=line.address, requester=requester)
+
+    def _on_downgrade_ack(self, msg: Message) -> None:
+        assert msg.address is not None
+        line = self.cache.get_line(msg.address)
+        txn = self._dir_txn.pop(msg.address, None)
+        if line is not None and txn is not None:
+            if msg.info.get("dirty") and msg.data is not None:
+                line.merge_data(msg.data)
+                line.dirty = True
+            line.state = MESIDirState.SHARED
+            line.sharers = {msg.info["owner"], txn["requester"]}
+            line.owner = None
+        self.unblock(msg.address)
+
+    # ------------------------------------------------------------------ writes
+
+    def _on_getx(self, msg: Message) -> None:
+        assert msg.address is not None
+        self.stats.requests["GetX"] += 1
+        requester = msg.info["requester"]
+        line = self.cache.get_line(msg.address)
+        if line is None:
+            self._fetch_and_then(msg)
+            return
+        if line.state is MESIDirState.VALID:
+            line.state = MESIDirState.EXCLUSIVE
+            line.owner = requester
+            line.sharers = set()
+            self.send(MessageType.DATA_X, self.l1_node(requester),
+                      address=line.address, data=line.copy_data(),
+                      delay=self.access_latency)
+            return
+        if line.state is MESIDirState.SHARED:
+            others = {sharer for sharer in line.sharers if sharer != requester}
+            was_sharer = requester in line.sharers
+            if not others:
+                line.state = MESIDirState.EXCLUSIVE
+                line.owner = requester
+                line.sharers = set()
+                if was_sharer:
+                    # Upgrade grant: no data needed in the common case, but
+                    # the line contents ride along (counted as a control
+                    # message) so a requester whose shared copy was lost in
+                    # flight can still complete correctly.
+                    self.send(MessageType.ACK, self.l1_node(requester),
+                              address=line.address, grant=True,
+                              data=line.copy_data(),
+                              delay=self.access_latency)
+                else:
+                    self.send(MessageType.DATA_X, self.l1_node(requester),
+                              address=line.address, data=line.copy_data(),
+                              delay=self.access_latency)
+                return
+            # Invalidate every other sharer, collect acks, then grant.
+            self.block(line.address)
+            self._dir_txn[line.address] = {
+                "type": "getx_inv",
+                "requester": requester,
+                "pending_acks": len(others),
+                "was_sharer": was_sharer,
+            }
+            for sharer in others:
+                self.send(MessageType.INV, self.l1_node(sharer),
+                          address=line.address, requester=requester)
+            return
+        # EXCLUSIVE
+        if line.owner == requester:
+            self.send(MessageType.DATA_X, self.l1_node(requester),
+                      address=line.address, data=line.copy_data(),
+                      delay=self.access_latency)
+            return
+        self.stats.forwarded_requests += 1
+        self.block(line.address)
+        self._dir_txn[line.address] = {"type": "getx_fwd", "requester": requester}
+        self.send(MessageType.FWD_GETX, self.l1_node(line.owner),
+                  address=line.address, requester=requester)
+
+    def _on_inv_ack(self, msg: Message) -> None:
+        assert msg.address is not None
+        recall = self._recalls.get(msg.address)
+        if recall is not None:
+            self._advance_recall(msg.address, msg)
+            return
+        txn = self._dir_txn.get(msg.address)
+        if txn is None or txn["type"] != "getx_inv":
+            return
+        txn["pending_acks"] -= 1
+        if txn["pending_acks"] > 0:
+            return
+        self._dir_txn.pop(msg.address, None)
+        line = self.cache.get_line(msg.address)
+        requester = txn["requester"]
+        if line is not None:
+            line.state = MESIDirState.EXCLUSIVE
+            line.owner = requester
+            line.sharers = set()
+            if txn["was_sharer"]:
+                self.send(MessageType.ACK, self.l1_node(requester),
+                          address=line.address, grant=True,
+                          data=line.copy_data())
+            else:
+                self.send(MessageType.DATA_X, self.l1_node(requester),
+                          address=line.address, data=line.copy_data(),
+                          delay=self.access_latency)
+        self.unblock(msg.address)
+
+    def _on_transfer_ack(self, msg: Message) -> None:
+        assert msg.address is not None
+        txn = self._dir_txn.pop(msg.address, None)
+        line = self.cache.get_line(msg.address)
+        if line is not None and txn is not None:
+            line.state = MESIDirState.EXCLUSIVE
+            line.owner = txn["requester"]
+            line.sharers = set()
+        self.unblock(msg.address)
+
+    # ------------------------------------------------------------------ L1 evictions
+
+    def _on_puts(self, msg: Message) -> None:
+        assert msg.address is not None
+        self.stats.requests["PutS"] += 1
+        line = self.cache.get_line(msg.address)
+        owner = msg.info["owner"]
+        if line is not None and line.state is MESIDirState.SHARED:
+            line.sharers.discard(owner)
+            if not line.sharers:
+                line.state = MESIDirState.VALID
+
+    def _on_pute(self, msg: Message) -> None:
+        assert msg.address is not None
+        self.stats.requests["PutE"] += 1
+        self._handle_put(msg, dirty=False)
+
+    def _on_putm(self, msg: Message) -> None:
+        assert msg.address is not None
+        self.stats.requests["PutM"] += 1
+        self._handle_put(msg, dirty=True)
+
+    def _handle_put(self, msg: Message, dirty: bool) -> None:
+        assert msg.address is not None
+        line = self.cache.get_line(msg.address)
+        owner = msg.info["owner"]
+        if (
+            line is not None
+            and line.state is MESIDirState.EXCLUSIVE
+            and line.owner == owner
+        ):
+            if dirty and msg.data is not None:
+                line.merge_data(msg.data)
+                line.dirty = True
+            line.state = MESIDirState.VALID
+            line.owner = None
+        self.send(MessageType.PUT_ACK, msg.src, address=msg.address)
+
+    # ------------------------------------------------------------------ allocation / memory
+
+    def _fetch_and_then(self, request: Message) -> None:
+        """Allocate a line for ``request.address``, fetch it from memory and
+        then grant exclusivity to the requester."""
+        assert request.address is not None
+        line_addr = self.address_map.line_address(request.address)
+        placed = self._allocate_line(line_addr)
+        if placed is None:
+            # Could not allocate (every way is mid-recall); retry shortly.
+            self.after(self.access_latency, lambda: self.handle_message(request))
+            return
+        self.block(line_addr)
+        requester = request.info["requester"]
+        grant_type = (MessageType.DATA_E if request.mtype is MessageType.GETS
+                      else MessageType.DATA_X)
+
+        def on_data(data: Dict[int, int]) -> None:
+            placed.merge_data(data)
+            placed.dirty = False
+            placed.state = MESIDirState.EXCLUSIVE
+            placed.owner = requester
+            placed.sharers = set()
+            self.send(grant_type, self.l1_node(requester),
+                      address=line_addr, data=placed.copy_data(),
+                      delay=self.access_latency)
+            self.unblock(line_addr)
+
+        self.fetch_from_memory(line_addr, on_data)
+
+    def _allocate_line(self, line_addr: int) -> Optional[CacheLine]:
+        """Insert an empty directory line, recalling a victim if necessary.
+
+        Returns ``None`` when no victim can currently be chosen (all ways in
+        the set are blocked mid-transaction), in which case the caller should
+        retry later.
+        """
+        line = CacheLine(address=line_addr, state=None)
+        victim = self.cache.pick_victim(
+            line_addr,
+            victim_filter=lambda cand: not self.is_blocked(cand.address)
+            and cand.address not in self._recalls,
+        )
+        if self.cache.needs_eviction(line_addr) and victim is None:
+            return None
+        inserted_victim = self.cache.insert(
+            line,
+            victim_filter=lambda cand: not self.is_blocked(cand.address)
+            and cand.address not in self._recalls,
+        )
+        if inserted_victim is not None:
+            self._start_recall(inserted_victim)
+        return line
+
+    def _start_recall(self, victim: CacheLine) -> None:
+        """Recall an evicted directory line from the L1s that cache it
+        (inclusive L2), then write it back to memory."""
+        self.stats.evictions[victim.state.value if victim.state else "none"] += 1
+        if victim.state is MESIDirState.VALID or victim.state is None:
+            if victim.dirty:
+                self.writeback_to_memory(victim.address, victim.copy_data())
+            return
+        self.stats.recalls += 1
+        self.block(victim.address)
+        if victim.state is MESIDirState.EXCLUSIVE:
+            self._recalls[victim.address] = {
+                "pending": 1,
+                "data": victim.copy_data(),
+                "dirty": victim.dirty,
+            }
+            self.send(MessageType.RECALL, self.l1_node(victim.owner),
+                      address=victim.address)
+        else:  # SHARED
+            sharers = set(victim.sharers)
+            self._recalls[victim.address] = {
+                "pending": len(sharers),
+                "data": victim.copy_data(),
+                "dirty": victim.dirty,
+            }
+            for sharer in sharers:
+                self.send(MessageType.INV, self.l1_node(sharer),
+                          address=victim.address, recall=True)
+            if not sharers:
+                self._finish_recall(victim.address)
+
+    def _on_wb_data(self, msg: Message) -> None:
+        assert msg.address is not None
+        recall = self._recalls.get(msg.address)
+        if recall is None:
+            # Unsolicited writeback (e.g. race with a PutM already handled).
+            if msg.info.get("dirty") and msg.data is not None:
+                self.writeback_to_memory(msg.address, msg.data)
+            return
+        if msg.info.get("dirty") and msg.data is not None:
+            recall["data"].update(msg.data)
+            recall["dirty"] = True
+        self._advance_recall(msg.address, msg)
+
+    def _advance_recall(self, address: int, _msg: Message) -> None:
+        recall = self._recalls[address]
+        recall["pending"] -= 1
+        if recall["pending"] <= 0:
+            self._finish_recall(address)
+
+    def _finish_recall(self, address: int) -> None:
+        recall = self._recalls.pop(address)
+        if recall["dirty"]:
+            self.writeback_to_memory(address, recall["data"])
+        self.unblock(address)

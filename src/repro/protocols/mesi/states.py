@@ -1,0 +1,37 @@
+"""MESI protocol states.
+
+Transient behaviour (waiting for data, waiting for acknowledgements, waiting
+for a recalled owner) is represented by the pending-transaction / blocked-line
+machinery of :mod:`repro.protocols.base` rather than by explicit transient
+state enum members; the enums here are the *stable* states of the protocol.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class MESIL1State(Enum):
+    """Stable states of a line in a private L1 cache under MESI."""
+
+    SHARED = "S"
+    EXCLUSIVE = "E"
+    MODIFIED = "M"
+
+    @property
+    def is_private(self) -> bool:
+        """``True`` for Exclusive/Modified (the core may write silently)."""
+        return self in (MESIL1State.EXCLUSIVE, MESIL1State.MODIFIED)
+
+    @property
+    def category(self) -> str:
+        """Statistics category: ``"shared"`` or ``"private"``."""
+        return "shared" if self is MESIL1State.SHARED else "private"
+
+
+class MESIDirState(Enum):
+    """Stable directory states of a line in the shared L2."""
+
+    VALID = "V"          # valid in L2, no L1 copies
+    SHARED = "S"         # one or more L1 sharers (tracked in the sharing vector)
+    EXCLUSIVE = "E"      # a single L1 owner (may have modified the line)

@@ -1,0 +1,91 @@
+"""Registry of named protocol configurations.
+
+Maps the configuration names used throughout the paper's evaluation
+(Figures 3-9) to everything the system builder needs to instantiate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.config import (
+    CC_SHARED_TO_L2,
+    TSO_CC_4_12_0,
+    TSO_CC_4_12_3,
+    TSO_CC_4_9_3,
+    TSO_CC_4_BASIC,
+    TSO_CC_4_NORESET,
+    TSOCCConfig,
+)
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A named protocol configuration.
+
+    Attributes:
+        name: display name (matches the paper's figures).
+        kind: ``"mesi"`` for the eager directory baseline or ``"tsocc"`` for
+            any member of the TSO-CC family (including ``CC-shared-to-L2``).
+        tsocc: the :class:`TSOCCConfig` for ``kind == "tsocc"``.
+    """
+
+    name: str
+    kind: str
+    tsocc: Optional[TSOCCConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("mesi", "tsocc"):
+            raise ValueError(f"unknown protocol kind {self.kind!r}")
+        if self.kind == "tsocc" and self.tsocc is None:
+            raise ValueError("tsocc protocol spec requires a TSOCCConfig")
+
+    @property
+    def is_baseline(self) -> bool:
+        """``True`` for the MESI baseline."""
+        return self.kind == "mesi"
+
+
+#: Every configuration evaluated in the paper, in the order of the figures.
+PAPER_CONFIGURATIONS: Dict[str, ProtocolSpec] = {
+    "MESI": ProtocolSpec(name="MESI", kind="mesi"),
+    "CC-shared-to-L2": ProtocolSpec(name="CC-shared-to-L2", kind="tsocc",
+                                    tsocc=CC_SHARED_TO_L2),
+    "TSO-CC-4-basic": ProtocolSpec(name="TSO-CC-4-basic", kind="tsocc",
+                                   tsocc=TSO_CC_4_BASIC),
+    "TSO-CC-4-noreset": ProtocolSpec(name="TSO-CC-4-noreset", kind="tsocc",
+                                     tsocc=TSO_CC_4_NORESET),
+    "TSO-CC-4-12-3": ProtocolSpec(name="TSO-CC-4-12-3", kind="tsocc",
+                                  tsocc=TSO_CC_4_12_3),
+    "TSO-CC-4-12-0": ProtocolSpec(name="TSO-CC-4-12-0", kind="tsocc",
+                                  tsocc=TSO_CC_4_12_0),
+    "TSO-CC-4-9-3": ProtocolSpec(name="TSO-CC-4-9-3", kind="tsocc",
+                                 tsocc=TSO_CC_4_9_3),
+}
+
+
+def list_protocol_names() -> List[str]:
+    """Names of every registered protocol configuration, in figure order."""
+    return list(PAPER_CONFIGURATIONS)
+
+
+def get_protocol_spec(name_or_spec) -> ProtocolSpec:
+    """Resolve a protocol given by name, :class:`ProtocolSpec` or
+    :class:`TSOCCConfig` into a :class:`ProtocolSpec`.
+
+    Raises:
+        KeyError: for an unknown configuration name.
+    """
+    if isinstance(name_or_spec, ProtocolSpec):
+        return name_or_spec
+    if isinstance(name_or_spec, TSOCCConfig):
+        return ProtocolSpec(name=name_or_spec.name, kind="tsocc", tsocc=name_or_spec)
+    if isinstance(name_or_spec, str):
+        if name_or_spec not in PAPER_CONFIGURATIONS:
+            raise KeyError(
+                f"unknown protocol {name_or_spec!r}; "
+                f"known: {', '.join(PAPER_CONFIGURATIONS)}"
+            )
+        return PAPER_CONFIGURATIONS[name_or_spec]
+    raise TypeError(f"cannot resolve protocol from {name_or_spec!r}")

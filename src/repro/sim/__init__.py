@@ -1,0 +1,30 @@
+"""Simulation engine: event scheduling, system configuration, statistics and
+the system builder that wires cores, caches, protocols, network and memory
+together.
+
+* :mod:`repro.sim.simulator` — the discrete-event engine.
+* :mod:`repro.sim.config` — :class:`SystemConfig`, mirroring Table 2 of the
+  paper, plus scaled-down presets used by the benchmark harness.
+* :mod:`repro.sim.stats` — per-component and aggregated statistics; the raw
+  material for Figures 3-9.
+* :mod:`repro.sim.system` — :class:`System`: builds a CMP from a
+  :class:`SystemConfig` and a protocol configuration and runs workloads on it.
+"""
+
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import DeadlockError, Simulator
+from repro.sim.stats import CoreStats, L1Stats, L2Stats, SystemStats
+from repro.sim.system import System, SimulationResult, build_system
+
+__all__ = [
+    "Simulator",
+    "DeadlockError",
+    "SystemConfig",
+    "CoreStats",
+    "L1Stats",
+    "L2Stats",
+    "SystemStats",
+    "System",
+    "SimulationResult",
+    "build_system",
+]

@@ -1,0 +1,154 @@
+"""System configuration (Table 2 of the paper) and scaled-down presets.
+
+:class:`SystemConfig` captures every platform parameter of the simulated CMP.
+Its defaults mirror Table 2 of the paper:
+
+====================================  =======================================
+Core count & frequency                32 (out-of-order) @ 2GHz
+Write buffer entries                  32, FIFO
+L1 I+D cache (private)                32KB+32KB, 64B lines, 4-way
+L1 hit latency                        3 cycles
+L2 cache (NUCA, shared)               1MB x 32 tiles, 64B lines, 16-way
+L2 hit latency                        30 to 80 cycles
+Memory                                2GB
+Memory hit latency                    120 to 230 cycles
+On-chip network                       2D mesh, 4 rows, 16B flits
+====================================  =======================================
+
+The pure-Python simulator cannot run full SPLASH-2/PARSEC/STAMP binaries at
+these sizes in reasonable time, so the benchmark harness uses
+:meth:`SystemConfig.scaled` presets (fewer cores, smaller caches, smaller
+working sets) while keeping every latency and the relative cache geometry the
+same.  Experiments report which preset they used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Platform parameters of the simulated CMP.
+
+    Attributes mirror Table 2; see module docstring.  ``num_l2_tiles`` of
+    ``None`` means "one tile per core" as in the paper.
+    """
+
+    num_cores: int = 32
+    core_frequency_ghz: float = 2.0
+    write_buffer_entries: int = 32
+    rob_entries: int = 40
+
+    line_size: int = 64
+    l1_size_bytes: int = 32 * 1024
+    l1_assoc: int = 4
+    l1_hit_latency: int = 3
+
+    l2_tile_size_bytes: int = 1024 * 1024
+    l2_assoc: int = 16
+    num_l2_tiles: Optional[int] = None
+    l2_access_latency: int = 20
+
+    memory_size_bytes: int = 2 * 1024 * 1024 * 1024
+    memory_latency_min: int = 120
+    memory_latency_max: int = 230
+
+    mesh_rows: int = 4
+    flit_bytes: int = 16
+    header_bytes: int = 8
+    link_latency: int = 1
+    router_latency: int = 1
+
+    replacement_policy: str = "lru"
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        if self.write_buffer_entries < 1:
+            raise ValueError("write_buffer_entries must be >= 1")
+        if self.l1_hit_latency < 1 or self.l2_access_latency < 1:
+            raise ValueError("latencies must be >= 1")
+
+    @property
+    def effective_l2_tiles(self) -> int:
+        """Number of L2 tiles (defaults to one per core)."""
+        return self.num_l2_tiles if self.num_l2_tiles is not None else self.num_cores
+
+    @property
+    def l1_lines(self) -> int:
+        """Number of lines in one private L1 data cache."""
+        return self.l1_size_bytes // self.line_size
+
+    @property
+    def l2_tile_lines(self) -> int:
+        """Number of lines in one shared L2 tile."""
+        return self.l2_tile_size_bytes // self.line_size
+
+    @property
+    def total_l2_lines(self) -> int:
+        """Number of lines across all L2 tiles."""
+        return self.l2_tile_lines * self.effective_l2_tiles
+
+    def with_cores(self, num_cores: int) -> "SystemConfig":
+        """Return a copy of this configuration with a different core count."""
+        return replace(self, num_cores=num_cores)
+
+    def scaled(
+        self,
+        num_cores: int = 8,
+        l1_size_bytes: int = 4 * 1024,
+        l2_tile_size_bytes: int = 64 * 1024,
+        seed: Optional[int] = None,
+    ) -> "SystemConfig":
+        """Return a laptop-scale preset preserving latencies and geometry.
+
+        The default scaled preset (8 cores, 4KB L1, 64KB L2 tiles) keeps the
+        L1:L2 capacity ratio of the paper's platform while letting the pure
+        Python simulator regenerate every figure in minutes.
+        """
+        return replace(
+            self,
+            num_cores=num_cores,
+            l1_size_bytes=l1_size_bytes,
+            l2_tile_size_bytes=l2_tile_size_bytes,
+            num_l2_tiles=None,
+            seed=self.seed if seed is None else seed,
+        )
+
+    def describe(self) -> str:
+        """Return a human-readable multi-line description (Table 2 style)."""
+        lines = [
+            f"Core count & frequency    {self.num_cores} @ {self.core_frequency_ghz}GHz",
+            f"Write buffer entries      {self.write_buffer_entries}, FIFO",
+            f"ROB entries               {self.rob_entries}",
+            (
+                f"L1 D-cache (private)      {self.l1_size_bytes // 1024}KB, "
+                f"{self.line_size}B lines, {self.l1_assoc}-way"
+            ),
+            f"L1 hit latency            {self.l1_hit_latency} cycles",
+            (
+                f"L2 cache (NUCA, shared)   {self.l2_tile_size_bytes // 1024}KB x "
+                f"{self.effective_l2_tiles} tiles, {self.line_size}B lines, "
+                f"{self.l2_assoc}-way"
+            ),
+            f"L2 access latency         {self.l2_access_latency} cycles (+ network)",
+            (
+                f"Memory hit latency        {self.memory_latency_min} to "
+                f"{self.memory_latency_max} cycles"
+            ),
+            (
+                f"On-chip network           2D Mesh, {self.mesh_rows} rows, "
+                f"{self.flit_bytes}B flits"
+            ),
+        ]
+        return "\n".join(lines)
+
+
+#: The exact platform of Table 2 in the paper.
+PAPER_SYSTEM = SystemConfig()
+
+#: Default scaled-down platform used by the benchmark harness.
+DEFAULT_BENCH_SYSTEM = PAPER_SYSTEM.scaled()

@@ -1,0 +1,53 @@
+"""Workloads: program generators standing in for the paper's benchmarks.
+
+The paper evaluates on SPLASH-2, PARSEC and STAMP binaries running on a
+full-system simulator.  This package provides synthetic, parameterised
+program generators that reproduce the *sharing behaviour* those benchmarks
+expose to the coherence protocol (see DESIGN.md for the substitution
+rationale):
+
+* :mod:`repro.workloads.layout` — shared address-space layout helpers.
+* :mod:`repro.workloads.sync` — TSO synchronization library built from plain
+  loads/stores/RMWs: test-and-set and ticket spinlocks, sense-reversing
+  barriers, seqlock readers.
+* :mod:`repro.workloads.stm` — a NOrec-style software transactional memory
+  (global sequence lock, buffered writes, value-based validation), used by
+  the STAMP stand-ins.
+* :mod:`repro.workloads.kernels` — reusable sharing-pattern kernels
+  (private compute, read-mostly scans, producer/consumer queues, migratory
+  objects, false sharing, work stealing ...).
+* :mod:`repro.workloads.synthetic` — small named workloads used by examples
+  and tests (producer-consumer, ping-pong, lock contention ...).
+* :mod:`repro.workloads.benchmarks` — the 16 benchmark stand-ins of Table 3
+  (blackscholes ... vacation), each returning a :class:`Workload`.
+"""
+
+from repro.workloads.trace import TraceOp, Workload, trace_program
+from repro.workloads.layout import AddressSpace
+from repro.workloads.benchmarks import (
+    BENCHMARK_FAMILIES,
+    benchmark_names,
+    make_benchmark,
+)
+from repro.workloads.synthetic import (
+    false_sharing_ping_pong,
+    lock_contention,
+    producer_consumer,
+    read_mostly,
+    private_only,
+)
+
+__all__ = [
+    "Workload",
+    "TraceOp",
+    "trace_program",
+    "AddressSpace",
+    "BENCHMARK_FAMILIES",
+    "benchmark_names",
+    "make_benchmark",
+    "producer_consumer",
+    "false_sharing_ping_pong",
+    "lock_contention",
+    "read_mostly",
+    "private_only",
+]

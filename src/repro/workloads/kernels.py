@@ -1,0 +1,195 @@
+"""Reusable sharing-pattern kernels.
+
+These sub-generators are the building blocks the benchmark stand-ins and the
+synthetic workloads are composed from.  Each models one archetypal sharing
+behaviour that coherence-protocol studies care about:
+
+* :func:`private_compute` — per-core private data, no sharing at all;
+* :func:`read_only_scan` — repeated reads of data nobody writes (the
+  SharedRO sweet spot);
+* :func:`strided_read` / :func:`strided_write` — streaming over a region;
+* :func:`scatter_updates` — read-modify-write of random elements of a shared
+  array (migratory sharing / ownership ping-pong);
+* :func:`neighbour_exchange` — read the slices your neighbours wrote
+  (producer-consumer across a barrier, as in FFT's transpose);
+* :func:`false_sharing_updates` — different cores writing different words of
+  the *same* lines;
+* :func:`work_queue_consumer` — lock-protected central work queue.
+
+All kernels take explicit addresses (from an
+:class:`~repro.workloads.layout.AddressSpace`) plus a seeded PRNG where they
+need randomness, so workloads stay fully deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, Optional, Sequence
+
+from repro.cpu.instruction import Load, RMW, Store, Work
+from repro.workloads.sync import lock_acquire, lock_release
+
+
+def private_compute(base: int, count: int, stride: int, iterations: int,
+                    work: int = 20) -> Generator:
+    """Read-modify-write a purely private region ``iterations`` times."""
+    total = 0
+    for it in range(iterations):
+        for i in range(count):
+            address = base + i * stride
+            value = yield Load(address)
+            total += value
+            yield Store(address, value + 1)
+        if work:
+            yield Work(work)
+    return total
+
+
+def read_only_scan(base: int, count: int, stride: int, iterations: int,
+                   rng: Optional[random.Random] = None, work: int = 10) -> Generator:
+    """Repeatedly read a region that is never written (read-only sharing)."""
+    total = 0
+    for _ in range(iterations):
+        if rng is None:
+            indices = range(count)
+        else:
+            indices = [rng.randrange(count) for _ in range(count)]
+        for i in indices:
+            value = yield Load(base + i * stride)
+            total += value
+        if work:
+            yield Work(work)
+    return total
+
+
+def strided_write(base: int, count: int, stride: int, value_base: int = 1) -> Generator:
+    """Write every element of a region once (streaming producer)."""
+    for i in range(count):
+        yield Store(base + i * stride, value_base + i)
+    return count
+
+
+def strided_read(base: int, count: int, stride: int) -> Generator:
+    """Read every element of a region once; returns the sum."""
+    total = 0
+    for i in range(count):
+        value = yield Load(base + i * stride)
+        total += value
+    return total
+
+
+def scatter_updates(base: int, count: int, stride: int, updates: int,
+                    rng: random.Random, work: int = 15) -> Generator:
+    """Randomly read-modify-write elements of a shared array.
+
+    With several cores running this concurrently the lines migrate between
+    writers — the canonical ownership-transfer stress pattern (canneal-like).
+    """
+    total = 0
+    for _ in range(updates):
+        index = rng.randrange(count)
+        address = base + index * stride
+        value = yield Load(address)
+        total += value
+        yield Store(address, value + 1)
+        if work:
+            yield Work(work)
+    return total
+
+
+def scatter_writes(base: int, count: int, stride: int, writes: int,
+                   rng: random.Random, work: int = 5) -> Generator:
+    """Write random elements of a shared array without reading them first
+    (radix-permutation-like: a high write-miss-rate pattern)."""
+    for n in range(writes):
+        index = rng.randrange(count)
+        yield Store(base + index * stride, n + 1)
+        if work:
+            yield Work(work)
+    return writes
+
+
+def neighbour_exchange(base: int, count_per_core: int, stride: int,
+                       my_core: int, num_cores: int,
+                       read_work: int = 5) -> Generator:
+    """Read every other core's slice of a shared region (FFT-transpose-like).
+
+    Assumes the region is laid out as ``num_cores`` contiguous slices of
+    ``count_per_core`` elements and that a barrier separates the writes from
+    this read phase.
+    """
+    total = 0
+    for other in range(num_cores):
+        if other == my_core:
+            continue
+        slice_base = base + other * count_per_core * stride
+        for i in range(count_per_core):
+            value = yield Load(slice_base + i * stride)
+            total += value
+        if read_work:
+            yield Work(read_work)
+    return total
+
+
+def false_sharing_updates(base: int, word_stride: int, my_slot: int,
+                          num_slots: int, iterations: int,
+                          work: int = 10) -> Generator:
+    """Repeatedly update *this core's word* inside lines shared with other
+    cores' words (the non-contiguous ``lu`` false-sharing pattern).
+
+    The region is treated as an array of ``num_slots``-word groups; core
+    ``my_slot`` only ever touches word ``my_slot`` of each group, but the
+    groups are packed so that several slots land in one cache line.
+    """
+    total = 0
+    for it in range(iterations):
+        address = base + (it % 8) * num_slots * word_stride + my_slot * word_stride
+        value = yield Load(address)
+        total += value
+        yield Store(address, value + 1)
+        if work:
+            yield Work(work)
+    return total
+
+
+def work_queue_consumer(lock_address: int, head_address: int, items: int,
+                        item_base: int, item_stride: int,
+                        work_per_item: int = 60) -> Generator:
+    """Pull items off a lock-protected central work queue until it is empty.
+
+    Returns the number of items this core processed.  Models raytrace/dedup
+    style dynamic load balancing: the queue head and lock are heavily
+    contended RMW targets, the items themselves are read-mostly.
+    """
+    processed = 0
+    while True:
+        yield from lock_acquire(lock_address)
+        index = yield Load(head_address)
+        if index < items:
+            yield Store(head_address, index + 1)
+        yield from lock_release(lock_address)
+        if index >= items:
+            return processed
+        value = yield Load(item_base + index * item_stride)
+        yield Work(work_per_item + (value % 7))
+        processed += 1
+
+
+def reduction_into(accumulator_address: int, lock_address: int, value: int) -> Generator:
+    """Lock-protected addition into a shared accumulator."""
+    yield from lock_acquire(lock_address)
+    current = yield Load(accumulator_address)
+    yield Store(accumulator_address, current + value)
+    yield from lock_release(lock_address)
+    return None
+
+
+def atomic_histogram(bins_base: int, stride: int, num_bins: int, samples: int,
+                     rng: random.Random, work: int = 5) -> Generator:
+    """Fetch-add into random histogram bins (RMW-heavy sharing)."""
+    for _ in range(samples):
+        bin_index = rng.randrange(num_bins)
+        yield RMW.fetch_add(bins_base + bin_index * stride, 1)
+        if work:
+            yield Work(work)
+    return samples

@@ -1,0 +1,84 @@
+"""Shared address-space layout for workloads.
+
+Workload programs address memory directly with integer byte addresses.  The
+:class:`AddressSpace` helper keeps that readable and collision-free: regions
+(arrays) are allocated by name with a chosen element stride, and per-core
+private regions are placed far apart so they never falsely share cache lines
+unless a workload asks for it explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass
+class AddressSpace:
+    """Named region allocator for workload address spaces.
+
+    Args:
+        line_size: cache line size used for alignment decisions.
+        base: first address handed out.
+    """
+
+    line_size: int = 64
+    base: int = 0x1_0000
+    _next: int = field(default=0, init=False)
+    _regions: Dict[str, Tuple[int, int, int]] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        self._next = self.base
+
+    def _align(self, value: int, alignment: int) -> int:
+        return (value + alignment - 1) & ~(alignment - 1)
+
+    def array(self, name: str, count: int, stride: int | None = None,
+              align_to_line: bool = True) -> int:
+        """Allocate a named array of ``count`` elements.
+
+        Args:
+            name: region name (must be unique).
+            count: number of elements.
+            stride: distance between consecutive elements in bytes; defaults
+                to one cache line (which gives each element its own line —
+                the no-false-sharing layout).  Pass a smaller stride (e.g. 8)
+                to deliberately pack several elements into one line, the way
+                the non-contiguous ``lu`` allocation false-shares.
+            align_to_line: align the region base to a line boundary.
+
+        Returns:
+            The base address of the region.
+        """
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        stride = self.line_size if stride is None else stride
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        start = self._align(self._next, self.line_size if align_to_line else 8)
+        size = count * stride
+        self._regions[name] = (start, count, stride)
+        self._next = self._align(start + size, self.line_size)
+        return start
+
+    def scalar(self, name: str) -> int:
+        """Allocate a single line-aligned word (flags, locks, counters)."""
+        return self.array(name, 1)
+
+    def addr(self, name: str, index: int = 0) -> int:
+        """Address of element ``index`` of region ``name``."""
+        start, count, stride = self._regions[name]
+        if not 0 <= index < count:
+            raise IndexError(f"index {index} out of range for region {name!r} "
+                             f"({count} elements)")
+        return start + index * stride
+
+    def region(self, name: str) -> Tuple[int, int, int]:
+        """Return ``(base, count, stride)`` of region ``name``."""
+        return self._regions[name]
+
+    def size_bytes(self) -> int:
+        """Total footprint allocated so far."""
+        return self._next - self.base

@@ -1,0 +1,149 @@
+"""NOrec-style software transactional memory.
+
+The STAMP benchmarks in the paper run on the NOrec STM [Dalessandro et al.,
+PPoPP 2010]: a single global sequence lock, lazy (buffered) writes and
+value-based validation of the read set.  This module implements the same
+algorithm on top of the plain load/store/RMW operations of the simulator, so
+the STAMP stand-ins stress the coherence protocols with exactly the access
+pattern the paper's transactional workloads produce: every commit writes the
+global sequence lock (a heavily shared line) plus the write-set lines, and
+every reader polls the sequence lock.
+
+Usage inside a program::
+
+    stm = NOrecSTM(seqlock_address)
+    def body(tx):
+        v = yield from tx.read(addr_a)
+        yield from tx.write(addr_b, v + 1)
+        return v
+    value = yield from stm.run_transaction(body)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Tuple
+
+from repro.cpu.instruction import Load, RMW, Store, Work
+
+
+class TransactionAborted(Exception):
+    """Internal control-flow exception: the running transaction must retry."""
+
+
+class TransactionFailed(RuntimeError):
+    """Raised when a transaction exceeded its retry budget (almost certainly
+    a livelock caused by a protocol bug rather than normal contention)."""
+
+
+class Transaction:
+    """One attempt of a NOrec transaction (created by :class:`NOrecSTM`)."""
+
+    def __init__(self, stm: "NOrecSTM", snapshot: int) -> None:
+        self.stm = stm
+        self.snapshot = snapshot
+        self.read_set: List[Tuple[int, int]] = []
+        self.write_set: Dict[int, int] = {}
+
+    # -- transactional operations -------------------------------------------
+
+    def read(self, address: int) -> Generator:
+        """Transactional read of ``address`` (value-based validation)."""
+        if address in self.write_set:
+            return self.write_set[address]
+        value = yield Load(address)
+        # Post-validation: if the global sequence moved, re-validate.
+        current = yield Load(self.stm.seqlock_address)
+        if current != self.snapshot:
+            yield from self._revalidate()
+            value = yield Load(address)
+        self.read_set.append((address, value))
+        return value
+
+    def write(self, address: int, value: int) -> Generator:
+        """Transactional (buffered) write of ``value`` to ``address``."""
+        self.write_set[address] = value
+        return None
+        yield  # pragma: no cover - makes this a generator for uniform `yield from`
+
+    def _revalidate(self) -> Generator:
+        """Value-based validation of the read set (NOrec's core idea)."""
+        while True:
+            snapshot = yield Load(self.stm.seqlock_address)
+            if snapshot % 2 == 1:
+                yield Work(self.stm.backoff)
+                continue
+            for address, expected in self.read_set:
+                current = yield Load(address)
+                if current != expected:
+                    raise TransactionAborted()
+            confirm = yield Load(self.stm.seqlock_address)
+            if confirm == snapshot:
+                self.snapshot = snapshot
+                return None
+
+    def commit(self) -> Generator:
+        """Commit: acquire the global sequence lock, write back, publish."""
+        if not self.write_set:
+            return None
+        while True:
+            old = yield RMW.compare_and_swap(
+                self.stm.seqlock_address, self.snapshot, self.snapshot + 1
+            )
+            if old == self.snapshot:
+                break
+            # Someone else committed since our snapshot: re-validate and retry
+            # the lock acquisition with the refreshed snapshot.
+            yield from self._revalidate()
+        for address, value in self.write_set.items():
+            yield Store(address, value)
+        yield Store(self.stm.seqlock_address, self.snapshot + 2)
+        return None
+
+
+class NOrecSTM:
+    """A NOrec software transactional memory instance.
+
+    Args:
+        seqlock_address: line-aligned word holding the global sequence lock.
+        backoff: polling backoff in cycles while the lock is odd (a writer
+            is committing).
+        max_retries: abort budget per transaction before giving up.
+    """
+
+    def __init__(self, seqlock_address: int, backoff: int = 6,
+                 max_retries: int = 10_000) -> None:
+        self.seqlock_address = seqlock_address
+        self.backoff = backoff
+        self.max_retries = max_retries
+        self.commits = 0
+        self.aborts = 0
+
+    def begin(self) -> Generator:
+        """Start a transaction attempt: wait for an even (unlocked) sequence."""
+        while True:
+            snapshot = yield Load(self.seqlock_address)
+            if snapshot % 2 == 0:
+                return Transaction(self, snapshot)
+            yield Work(self.backoff)
+
+    def run_transaction(self, body: Callable[[Transaction], Generator]) -> Generator:
+        """Run ``body`` as a transaction, retrying on aborts.
+
+        ``body`` receives the :class:`Transaction` and must perform all its
+        shared accesses through ``tx.read`` / ``tx.write`` (via
+        ``yield from``); its return value is returned on commit.
+        """
+        for _attempt in range(self.max_retries):
+            tx = yield from self.begin()
+            try:
+                result = yield from body(tx)
+                yield from tx.commit()
+            except TransactionAborted:
+                self.aborts += 1
+                yield Work(self.backoff)
+                continue
+            self.commits += 1
+            return result
+        raise TransactionFailed(
+            f"transaction aborted {self.max_retries} times without committing"
+        )

@@ -1,0 +1,278 @@
+"""Small named synthetic workloads.
+
+These are the workloads used by the examples, the unit/integration tests and
+the ablation benchmarks: each isolates one sharing behaviour so protocol
+differences are easy to see and to assert on.  The full benchmark stand-ins
+of Table 3 live in :mod:`repro.workloads.benchmarks`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.cpu.instruction import Load, Store, Work
+from repro.workloads.kernels import (
+    false_sharing_updates,
+    private_compute,
+    read_only_scan,
+    reduction_into,
+    strided_read,
+    strided_write,
+)
+from repro.workloads.layout import AddressSpace
+from repro.workloads.sync import barrier_wait, lock_acquire, lock_release, spin_until_equals
+from repro.workloads.trace import Workload
+
+
+def producer_consumer(num_cores: int = 2, items: int = 32,
+                      line_size: int = 64) -> Workload:
+    """Core 0 produces an array and raises a flag; every other core spins on
+    the flag and then sums the array (the Figure 1 pattern of the paper).
+
+    The validator checks that every consumer observed the full array — i.e.
+    that write propagation and the ``r -> r`` ordering both held.
+    """
+    space = AddressSpace(line_size=line_size)
+    flag = space.scalar("flag")
+    data = space.array("data", items)
+    expected_total = sum(range(1, items + 1))
+
+    def producer(ctx):
+        yield from strided_write(data, items, line_size, value_base=1)
+        yield Store(flag, 1)
+
+    def consumer(ctx):
+        yield from spin_until_equals(flag, 1)
+        total = yield from strided_read(data, items, line_size)
+        ctx.record("total", total)
+
+    programs = [producer] + [consumer] * (num_cores - 1)
+
+    def validator(result) -> bool:
+        return all(
+            result.result_of(core, "total") == expected_total
+            for core in range(1, num_cores)
+        )
+
+    return Workload(
+        name="producer-consumer",
+        programs=programs,
+        params={"items": items},
+        description="one producer, N-1 flag-spinning consumers",
+        validator=validator,
+    )
+
+
+def false_sharing_ping_pong(num_cores: int = 4, iterations: int = 200,
+                            line_size: int = 64) -> Workload:
+    """Every core repeatedly updates its own word packed into shared lines.
+
+    Under MESI the lines ping-pong between writers; under TSO-CC the writes
+    do not invalidate each other, so this is the pattern where lazy coherence
+    wins most clearly (the paper's non-contiguous ``lu`` discussion).
+    """
+    space = AddressSpace(line_size=line_size)
+    packed = space.array("packed", 8 * num_cores, stride=8)
+
+    def make_program(core_id: int):
+        def program(ctx):
+            total = yield from false_sharing_updates(
+                base=packed, word_stride=8, my_slot=core_id,
+                num_slots=num_cores, iterations=iterations)
+            ctx.record("total", total)
+        return program
+
+    return Workload(
+        name="false-sharing-ping-pong",
+        programs=[make_program(core) for core in range(num_cores)],
+        params={"iterations": iterations},
+        description="per-core words packed into shared cache lines",
+    )
+
+
+def lock_contention(num_cores: int = 4, increments: int = 50,
+                    line_size: int = 64) -> Workload:
+    """All cores increment one shared counter under a test-and-set spinlock.
+
+    The validator checks the final counter equals ``num_cores * increments``
+    (mutual exclusion and write propagation both held).
+    """
+    space = AddressSpace(line_size=line_size)
+    lock = space.scalar("lock")
+    counter = space.scalar("counter")
+    bar_count = space.scalar("barrier_count")
+    bar_gen = space.scalar("barrier_gen")
+
+    def make_program(core_id: int):
+        def program(ctx):
+            for _ in range(increments):
+                yield from lock_acquire(lock)
+                value = yield Load(counter)
+                yield Store(counter, value + 1)
+                yield from lock_release(lock)
+                yield Work(25)
+            # All increments happen before the barrier; under TSO every core
+            # must therefore observe the full total after it.
+            yield from barrier_wait(bar_count, bar_gen, num_cores)
+            final = yield Load(counter)
+            ctx.record("final_seen", final)
+        return program
+
+    def validator(result) -> bool:
+        total = num_cores * increments
+        return all(result.result_of(core, "final_seen") == total
+                   for core in range(num_cores))
+
+    return Workload(
+        name="lock-contention",
+        programs=[make_program(core) for core in range(num_cores)],
+        params={"increments": increments},
+        description="shared counter incremented under a spinlock",
+        validator=validator,
+    )
+
+
+def read_mostly(num_cores: int = 4, table_size: int = 64, iterations: int = 8,
+                line_size: int = 64) -> Workload:
+    """Core 0 initializes a table once; then every core repeatedly reads it.
+
+    The read-only table is the SharedRO showcase: TSO-CC configurations with
+    the §3.4 optimization keep hitting in the L1, the CC-shared-to-L2
+    strawman keeps re-fetching.
+    """
+    space = AddressSpace(line_size=line_size)
+    table = space.array("table", table_size)
+    bar_count = space.scalar("barrier_count")
+    bar_gen = space.scalar("barrier_gen")
+    expected = sum(range(1, table_size + 1)) * iterations
+
+    def make_program(core_id: int):
+        def program(ctx):
+            if core_id == 0:
+                yield from strided_write(table, table_size, line_size, value_base=1)
+            yield from barrier_wait(bar_count, bar_gen, num_cores)
+            rng = random.Random(1000 + core_id)
+            total = 0
+            for _ in range(iterations):
+                total += yield from strided_read(table, table_size, line_size)
+                yield Work(20)
+            ctx.record("total", total)
+            _ = rng  # deterministic scan; rng kept for symmetry with other kernels
+        return program
+
+    def validator(result) -> bool:
+        return all(result.result_of(core, "total") == expected
+                   for core in range(num_cores))
+
+    return Workload(
+        name="read-mostly",
+        programs=[make_program(core) for core in range(num_cores)],
+        params={"table_size": table_size, "iterations": iterations},
+        description="write-once, read-many shared table",
+        validator=validator,
+    )
+
+
+def private_only(num_cores: int = 4, elements: int = 64, iterations: int = 4,
+                 line_size: int = 64) -> Workload:
+    """Every core works on disjoint private data (no true sharing at all)."""
+    space = AddressSpace(line_size=line_size)
+    regions = [space.array(f"private_{core}", elements) for core in range(num_cores)]
+
+    def make_program(core_id: int):
+        def program(ctx):
+            total = yield from private_compute(
+                regions[core_id], elements, line_size, iterations)
+            ctx.record("total", total)
+        return program
+
+    def validator(result) -> bool:
+        # Each element is incremented `iterations` times starting from zero,
+        # and the value is read before each increment.
+        expected = sum(range(iterations)) * elements
+        return all(result.result_of(core, "total") == expected
+                   for core in range(num_cores))
+
+    return Workload(
+        name="private-only",
+        programs=[make_program(core) for core in range(num_cores)],
+        params={"elements": elements, "iterations": iterations},
+        description="disjoint per-core working sets",
+        validator=validator,
+    )
+
+
+def shared_accumulation(num_cores: int = 4, contributions: int = 20,
+                        line_size: int = 64) -> Workload:
+    """Lock-protected accumulation into one shared variable followed by a
+    barrier and a read-back; validator checks the deterministic total."""
+    space = AddressSpace(line_size=line_size)
+    lock = space.scalar("lock")
+    accumulator = space.scalar("acc")
+    bar_count = space.scalar("barrier_count")
+    bar_gen = space.scalar("barrier_gen")
+    expected = sum(core * contributions for core in range(1, num_cores + 1))
+
+    def make_program(core_id: int):
+        def program(ctx):
+            for _ in range(contributions):
+                yield from reduction_into(accumulator, lock, core_id + 1)
+                yield Work(15)
+            yield from barrier_wait(bar_count, bar_gen, num_cores)
+            final = yield Load(accumulator)
+            ctx.record("final", final)
+        return program
+
+    def validator(result) -> bool:
+        return all(result.result_of(core, "final") == expected
+                   for core in range(num_cores))
+
+    return Workload(
+        name="shared-accumulation",
+        programs=[make_program(core) for core in range(num_cores)],
+        params={"contributions": contributions},
+        description="lock-protected reduction with a final barrier",
+        validator=validator,
+    )
+
+
+def read_only_hotspot(num_cores: int = 4, table_size: int = 32,
+                      reads: int = 200, line_size: int = 64) -> Workload:
+    """Random reads over a small read-only table (after one-time init)."""
+    space = AddressSpace(line_size=line_size)
+    table = space.array("table", table_size)
+    bar_count = space.scalar("barrier_count")
+    bar_gen = space.scalar("barrier_gen")
+
+    def make_program(core_id: int):
+        def program(ctx):
+            if core_id == 0:
+                yield from strided_write(table, table_size, line_size, value_base=1)
+            yield from barrier_wait(bar_count, bar_gen, num_cores)
+            rng = random.Random(7 + core_id)
+            total = yield from read_only_scan(table, table_size, line_size,
+                                              iterations=max(1, reads // table_size),
+                                              rng=rng)
+            ctx.record("total", total)
+        return program
+
+    return Workload(
+        name="read-only-hotspot",
+        programs=[make_program(core) for core in range(num_cores)],
+        params={"table_size": table_size, "reads": reads},
+        description="random reads over a small read-only table",
+    )
+
+
+def all_synthetic_workloads(num_cores: int = 4) -> List[Workload]:
+    """Every synthetic workload at its default size (used by tests)."""
+    return [
+        producer_consumer(num_cores=num_cores),
+        false_sharing_ping_pong(num_cores=num_cores),
+        lock_contention(num_cores=num_cores),
+        read_mostly(num_cores=num_cores),
+        private_only(num_cores=num_cores),
+        shared_accumulation(num_cores=num_cores),
+        read_only_hotspot(num_cores=num_cores),
+    ]

@@ -1,0 +1,103 @@
+"""Workload container and trace-replay programs.
+
+A :class:`Workload` bundles one program per core plus the parameters and a
+result validator, so the experiment harness, examples and tests can all run
+the same thing::
+
+    workload = make_benchmark("fft", num_cores=8, scale=1.0)
+    system = build_system(config, "TSO-CC-4-12-3")
+    result = system.run(workload.programs, params=workload.params)
+    assert workload.validate(result)
+
+For trace-driven studies (and for the litmus runner) :func:`trace_program`
+turns an explicit list of :class:`TraceOp` records into a program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.cpu.instruction import Fence, Load, RMW, Store, Work
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One record of an explicit memory trace.
+
+    Attributes:
+        kind: ``"load"``, ``"store"``, ``"rmw"``, ``"fence"`` or ``"work"``.
+        address: byte address (loads/stores/RMWs).
+        value: store value / RMW addend / work cycles.
+        record_as: optional key under which a load's (or RMW's old) value is
+            recorded into the core's results.
+    """
+
+    kind: str
+    address: int = 0
+    value: int = 0
+    record_as: Optional[str] = None
+
+
+def trace_program(ops: Sequence[TraceOp]) -> Callable:
+    """Build a program that replays ``ops`` in order.
+
+    Loads whose ``record_as`` is set store the observed value in the core's
+    results dictionary — which is how the litmus runner extracts final
+    register values.
+    """
+
+    def program(ctx):
+        for op in ops:
+            if op.kind == "load":
+                value = yield Load(op.address)
+                if op.record_as is not None:
+                    ctx.record(op.record_as, value)
+            elif op.kind == "store":
+                yield Store(op.address, op.value)
+            elif op.kind == "rmw":
+                old = yield RMW.fetch_add(op.address, op.value)
+                if op.record_as is not None:
+                    ctx.record(op.record_as, old)
+            elif op.kind == "fence":
+                yield Fence()
+            elif op.kind == "work":
+                yield Work(op.value)
+            else:
+                raise ValueError(f"unknown trace op kind {op.kind!r}")
+
+    return program
+
+
+@dataclass
+class Workload:
+    """A named multi-core workload.
+
+    Attributes:
+        name: workload name (matches Table 3 for the benchmark stand-ins).
+        programs: one generator-function per participating core.
+        params: parameters exposed to the programs through their contexts.
+        description: one-line description of the sharing behaviour modelled.
+        validator: optional callable ``(SimulationResult) -> bool`` checking
+            functional correctness of the run (e.g. reduction totals).
+        suite: benchmark suite the stand-in belongs to
+            (``"PARSEC"``, ``"SPLASH-2"``, ``"STAMP"`` or ``"synthetic"``).
+    """
+
+    name: str
+    programs: List[Callable]
+    params: Dict[str, Any] = field(default_factory=dict)
+    description: str = ""
+    validator: Optional[Callable[[Any], bool]] = None
+    suite: str = "synthetic"
+
+    @property
+    def num_cores(self) -> int:
+        """Number of cores the workload needs."""
+        return len(self.programs)
+
+    def validate(self, result) -> bool:
+        """Run the workload's validator (vacuously true if none is set)."""
+        if self.validator is None:
+            return True
+        return bool(self.validator(result))

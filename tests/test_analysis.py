@@ -1,0 +1,107 @@
+"""Tests for metrics, table rendering and the experiment runner."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRunner
+from repro.analysis.metrics import add_summary_row, amean, gmean, normalize_to_baseline
+from repro.analysis.tables import format_series_table, format_table
+from repro.sim.config import SystemConfig
+
+
+# ------------------------------------------------------------------ metrics
+
+def test_gmean_and_amean():
+    assert gmean([1.0, 4.0]) == pytest.approx(2.0)
+    assert gmean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+    assert amean([1.0, 3.0]) == 2.0
+    assert gmean([]) == 0.0
+    with pytest.raises(ValueError):
+        gmean([1.0, 0.0])
+
+
+def test_normalize_to_baseline():
+    raw = {"MESI": {"a": 100.0, "b": 200.0},
+           "TSO-CC": {"a": 90.0, "b": 260.0}}
+    norm = normalize_to_baseline(raw, "MESI")
+    assert norm["MESI"]["a"] == 1.0
+    assert norm["TSO-CC"]["a"] == pytest.approx(0.9)
+    assert norm["TSO-CC"]["b"] == pytest.approx(1.3)
+    with_summary = add_summary_row(norm)
+    assert with_summary["TSO-CC"]["gmean"] == pytest.approx(gmean([0.9, 1.3]))
+    with pytest.raises(KeyError):
+        normalize_to_baseline(raw, "SC")
+
+
+# ------------------------------------------------------------------ tables
+
+def test_format_table_alignment_and_floats():
+    rows = [{"name": "a", "value": 1.23456}, {"name": "bb", "value": 7.0}]
+    text = format_table(rows, title="T")
+    assert "T" in text and "1.235" in text and "bb" in text
+
+
+def test_format_series_table_row_order():
+    series = {"MESI": {"x": 1.0, "gmean": 1.0}, "TSO": {"x": 0.9, "gmean": 0.9}}
+    text = format_series_table(series, row_order=["x", "gmean"])
+    lines = text.splitlines()
+    assert lines[0].startswith("workload")
+    assert lines[-1].split()[0] == "gmean"
+
+
+# ------------------------------------------------------------------ experiment runner (tiny matrix)
+
+@pytest.fixture(scope="module")
+def tiny_runner():
+    runner = ExperimentRunner(
+        system_config=SystemConfig().scaled(num_cores=4),
+        protocols=["MESI", "TSO-CC-4-basic", "TSO-CC-4-12-3"],
+        workloads=["fft", "intruder"],
+        scale=0.2,
+    )
+    runner.run_all()
+    return runner
+
+
+def test_runner_caches_results(tiny_runner):
+    stats_a = tiny_runner.run_one("fft", "MESI")
+    stats_b = tiny_runner.run_one("fft", "MESI")
+    assert stats_a is stats_b
+
+
+def test_figure3_and_4_structure(tiny_runner):
+    fig3 = tiny_runner.figure3_execution_time()
+    fig4 = tiny_runner.figure4_network_traffic()
+    for figure in (fig3, fig4):
+        assert set(figure.series) == {"MESI", "TSO-CC-4-basic", "TSO-CC-4-12-3"}
+        assert figure.series["MESI"]["fft"] == pytest.approx(1.0)
+        assert "gmean" in figure.series["TSO-CC-4-12-3"]
+        assert all(v > 0 for v in figure.series["TSO-CC-4-12-3"].values())
+
+
+def test_figure5_to_9_structure(tiny_runner):
+    fig5 = tiny_runner.figure5_miss_breakdown()
+    assert any(key.startswith("MESI:read_miss_") for key in fig5.series)
+    fig6 = tiny_runner.figure6_hit_breakdown()
+    total = sum(fig6.series[f"MESI:{part}"]["fft"]
+                for part in ("read_miss", "write_miss", "read_hit_shared",
+                             "read_hit_shared_ro", "read_hit_private",
+                             "write_hit_private"))
+    assert total == pytest.approx(100.0, abs=1.0)
+    fig7 = tiny_runner.figure7_selfinval_triggers()
+    assert not any(key.startswith("MESI:") for key in fig7.series)
+    fig8 = tiny_runner.figure8_rmw_latency()
+    assert fig8.series["MESI"]["intruder"] == pytest.approx(1.0)
+    fig9 = tiny_runner.figure9_selfinval_causes()
+    assert any(key.startswith("TSO-CC-4-12-3:") for key in fig9.series)
+
+
+def test_figure2_storage_series(tiny_runner):
+    fig2 = tiny_runner.figure2_storage(core_counts=(32, 128))
+    assert fig2.series["MESI"]["128"] > fig2.series["MESI"]["32"]
+    assert fig2.series["TSO-CC-4-12-3"]["128"] < fig2.series["MESI"]["128"]
+
+
+def test_headline_summary(tiny_runner):
+    summary = tiny_runner.headline_summary()
+    assert "exec_time_gmean[TSO-CC-4-12-3]" in summary
+    assert all(value > 0 for value in summary.values())

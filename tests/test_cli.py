@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "TSO-CC-4-12-3" in out
+    assert "blackscholes" in out and "STAMP" in out
+
+
+def test_run_command_small(capsys):
+    code = main(["run", "fft", "--protocol", "MESI", "--protocol", "TSO-CC-4-12-3",
+                 "--cores", "4", "--scale", "0.2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "MESI" in out and "TSO-CC-4-12-3" in out
+    assert "cycles" in out
+
+
+def test_storage_command(capsys):
+    assert main(["storage", "--cores", "32,128"]) == 0
+    out = capsys.readouterr().out
+    assert "MESI" in out and "128" in out
+
+
+def test_figure_command_subset(capsys):
+    code = main(["figure", "3", "--workloads", "fft", "--cores", "4",
+                 "--scale", "0.2", "--protocols", "MESI,TSO-CC-4-basic"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out and "gmean" in out
+
+
+def test_figure_command_rejects_unknown_figure(capsys):
+    assert main(["figure", "42", "--workloads", "fft", "--cores", "4",
+                 "--scale", "0.2"]) == 2
+
+
+def test_litmus_command(capsys):
+    code = main(["litmus", "--protocol", "TSO-CC-4-12-3", "--iterations", "3",
+                 "--tests", "MP,SB"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "MP" in out and "ALL PASS" in out
+
+
+def test_litmus_command_unknown_test():
+    assert main(["litmus", "--tests", "NOPE"]) == 2
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_command_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "unknownbench"])

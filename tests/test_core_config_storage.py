@@ -1,0 +1,148 @@
+"""Tests for TSO-CC configuration objects, the protocol registry and the
+Table 1 / Figure 2 storage model."""
+
+import pytest
+
+from repro.core.config import (
+    CC_SHARED_TO_L2,
+    PAPER_TSOCC_CONFIGS,
+    TSO_CC_4_12_0,
+    TSO_CC_4_12_3,
+    TSO_CC_4_9_3,
+    TSO_CC_4_BASIC,
+    TSO_CC_4_NORESET,
+    TSOCCConfig,
+)
+from repro.core.storage import StorageModel, mesi_overhead_bits, tsocc_overhead_bits
+from repro.protocols.registry import (
+    PAPER_CONFIGURATIONS,
+    ProtocolSpec,
+    get_protocol_spec,
+    list_protocol_names,
+)
+from repro.sim.config import SystemConfig
+
+
+# ------------------------------------------------------------------ configuration
+
+def test_named_configurations_match_paper_naming_convention():
+    # TSO-CC-<Bmaxacc>-<Bts>-<Bwrite-group>
+    assert TSO_CC_4_12_3.max_acc_bits == 4
+    assert TSO_CC_4_12_3.ts_bits == 12
+    assert TSO_CC_4_12_3.write_group_bits == 3
+    assert TSO_CC_4_12_3.write_group_size == 8
+    assert TSO_CC_4_12_0.write_group_size == 1
+    assert TSO_CC_4_9_3.ts_bits == 9
+    assert TSO_CC_4_NORESET.ts_bits is None
+    assert TSO_CC_4_BASIC.use_timestamps is False
+    assert CC_SHARED_TO_L2.max_shared_hits == 0
+    assert TSO_CC_4_BASIC.max_shared_hits == 16
+
+
+def test_decay_threshold_accounts_for_write_grouping():
+    assert TSO_CC_4_12_3.decay_writes == 256
+    assert TSO_CC_4_12_3.decay_timestamp_delta == 32       # 256 / 8
+    assert TSO_CC_4_12_0.decay_timestamp_delta == 256      # 256 / 1
+    assert TSO_CC_4_BASIC.decay_timestamp_delta is None
+
+
+def test_invalid_configurations_rejected():
+    with pytest.raises(ValueError):
+        TSOCCConfig(use_timestamps=False, decay_writes=256, ts_bits=None)
+    with pytest.raises(ValueError):
+        TSOCCConfig(ts_bits=1)
+    with pytest.raises(ValueError):
+        TSOCCConfig(max_acc_bits=-1)
+    with pytest.raises(ValueError):
+        TSOCCConfig(use_shared_ro=False, sro_uses_l2_timestamps=True)
+
+
+def test_describe_and_with_name():
+    renamed = TSO_CC_4_12_3.with_name("custom")
+    assert renamed.name == "custom"
+    assert "acc=4b" in renamed.describe()
+
+
+# ------------------------------------------------------------------ registry
+
+def test_registry_contains_all_seven_configurations():
+    assert list_protocol_names() == [
+        "MESI", "CC-shared-to-L2", "TSO-CC-4-basic", "TSO-CC-4-noreset",
+        "TSO-CC-4-12-3", "TSO-CC-4-12-0", "TSO-CC-4-9-3",
+    ]
+    assert PAPER_CONFIGURATIONS["MESI"].is_baseline
+    assert not PAPER_CONFIGURATIONS["TSO-CC-4-12-3"].is_baseline
+
+
+def test_get_protocol_spec_accepts_names_specs_and_configs():
+    assert get_protocol_spec("MESI").kind == "mesi"
+    spec = get_protocol_spec(TSO_CC_4_12_3)
+    assert spec.kind == "tsocc" and spec.tsocc is TSO_CC_4_12_3
+    assert get_protocol_spec(spec) is spec
+    with pytest.raises(KeyError):
+        get_protocol_spec("MOESI")
+    with pytest.raises(TypeError):
+        get_protocol_spec(42)
+    with pytest.raises(ValueError):
+        ProtocolSpec(name="x", kind="tsocc")          # missing config
+    with pytest.raises(ValueError):
+        ProtocolSpec(name="x", kind="snooping")
+
+
+# ------------------------------------------------------------------ storage model
+
+def test_mesi_overhead_scales_linearly_with_cores():
+    system = SystemConfig()
+    bits_32 = mesi_overhead_bits(system.with_cores(32))
+    bits_128 = mesi_overhead_bits(system.with_cores(128))
+    # Sharing vector dominates: 4x the cores -> >4x the bits (more lines AND
+    # wider vectors).
+    assert bits_128 > 8 * bits_32
+
+
+def test_tsocc_overhead_scales_much_slower():
+    system = SystemConfig()
+    tsocc_32 = tsocc_overhead_bits(system.with_cores(32), TSO_CC_4_12_3)
+    tsocc_128 = tsocc_overhead_bits(system.with_cores(128), TSO_CC_4_12_3)
+    # Per-line cost is constant-ish (log factor); growth is dominated by the
+    # 4x increase in the number of lines.
+    assert tsocc_128 < 6 * tsocc_32
+
+
+def test_storage_reductions_match_paper_shape():
+    model = StorageModel(SystemConfig())
+    r_basic_32 = model.reduction_vs_mesi(32, TSO_CC_4_BASIC)
+    r_straw_32 = model.reduction_vs_mesi(32, CC_SHARED_TO_L2)
+    r_full_32 = model.reduction_vs_mesi(32, TSO_CC_4_12_3)
+    r_full_128 = model.reduction_vs_mesi(128, TSO_CC_4_12_3)
+    r_9_32 = model.reduction_vs_mesi(32, TSO_CC_4_9_3)
+    # Paper §4.2: basic ~75%, shared-to-L2 ~76%, 12-3 ~38% (32 cores) and
+    # ~82% (128 cores), 9-3 ~47%.  The model reproduces the ordering and the
+    # rough magnitudes.
+    assert r_straw_32 >= r_basic_32 > r_9_32 > r_full_32 > 0.2
+    assert r_full_128 > 0.6
+    assert r_full_128 > r_full_32
+
+
+def test_figure2_series_structure():
+    model = StorageModel(SystemConfig())
+    series = model.figure2_series(PAPER_TSOCC_CONFIGS, core_counts=(16, 32, 64))
+    assert series["cores"] == [16.0, 32.0, 64.0]
+    assert len(series["MESI"]) == 3
+    for config in PAPER_TSOCC_CONFIGS:
+        assert all(v > 0 for v in series[config.name])
+        if config.ts_bits is None and config.use_timestamps:
+            # The idealised "noreset" configuration charges 31-bit
+            # timestamps and may exceed MESI at small core counts; Figure 2
+            # only plots the realistic configurations.
+            continue
+        # Every realistic TSO-CC config is cheaper than MESI from 32 cores up.
+        assert all(t < m for t, m in list(zip(series[config.name], series["MESI"]))[1:])
+
+
+def test_table1_breakdown_fields():
+    model = StorageModel(SystemConfig())
+    breakdown = model.table1_breakdown(TSO_CC_4_12_3, num_cores=32)
+    assert breakdown["l1_per_line_bits"] == 4 + 12 + 2
+    assert breakdown["num_cores"] == 32
+    assert breakdown["total_mbytes"] > 0

@@ -1,0 +1,101 @@
+"""Differential testing: random data-race-free programs must produce the
+same results under every protocol configuration and under a simple
+sequential reference executor.
+
+For data-race-free programs every TSO implementation must be
+indistinguishable from sequential consistency (DRF-SC), so any divergence
+between a protocol configuration and the reference executor is a coherence
+or consistency bug.  The generator builds programs in which cores write only
+their own private regions, read a shared pre-initialised region, and
+exchange data only through a barrier (phase 1 private writes are read by
+other cores in phase 2), which keeps the final values deterministic.
+"""
+
+import random
+
+import pytest
+
+from repro.cpu.instruction import Load, Store, Work
+from repro.sim.config import SystemConfig
+from repro.workloads.layout import AddressSpace
+from repro.workloads.sync import barrier_wait
+from repro.workloads.trace import Workload
+
+from conftest import ALL_PROTOCOLS, run_workload
+
+
+def _build_random_drf_workload(seed: int, num_cores: int = 4):
+    """Build a deterministic DRF workload plus its expected per-core result."""
+    rng = random.Random(seed)
+    space = AddressSpace()
+    per_core = rng.randint(4, 10)
+    private = [space.array(f"private_{c}", per_core) for c in range(num_cores)]
+    bar_count = space.scalar("bc")
+    bar_gen = space.scalar("bg")
+    rounds = rng.randint(1, 3)
+
+    # Reference (sequential) execution: phase 1 leaves private[c][i] equal to
+    # the last value core c wrote; phase 2 sums every other core's region.
+    final_values = {}
+    for core in range(num_cores):
+        core_rng = random.Random(seed * 131 + core)
+        values = [0] * per_core
+        for round_ in range(rounds):
+            for i in range(per_core):
+                values[i] = core_rng.randint(1, 100) + round_
+        final_values[core] = values
+    expected = {
+        core: sum(sum(final_values[other]) for other in range(num_cores))
+        for core in range(num_cores)
+    }
+
+    def make_program(core_id):
+        def program(ctx):
+            core_rng = random.Random(seed * 131 + core_id)
+            for round_ in range(rounds):
+                for i in range(per_core):
+                    value = core_rng.randint(1, 100) + round_
+                    yield Store(private[core_id] + i * 64, value)
+                if rng_work := (i + round_) % 3:
+                    yield Work(10 * rng_work)
+            yield from barrier_wait(bar_count, bar_gen, num_cores)
+            total = 0
+            for other in range(num_cores):
+                for i in range(per_core):
+                    total += yield Load(private[other] + i * 64)
+            ctx.record("total", total)
+        return program
+
+    def validator(result):
+        return all(result.result_of(core, "total") == expected[core]
+                   for core in range(num_cores))
+
+    return Workload(name=f"drf-{seed}",
+                    programs=[make_program(c) for c in range(num_cores)],
+                    validator=validator), expected
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_random_drf_programs_match_sequential_reference(seed, protocol):
+    workload, expected = _build_random_drf_workload(seed)
+    config = SystemConfig().scaled(num_cores=4, l1_size_bytes=2048,
+                                   l2_tile_size_bytes=16 * 1024)
+    result = run_workload(workload, protocol, config)
+    for core, value in expected.items():
+        assert result.result_of(core, "total") == value
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_all_protocols_agree_with_each_other(seed):
+    """Beyond matching the reference, every configuration must agree with
+    every other configuration on the recorded results."""
+    config = SystemConfig().scaled(num_cores=4, l1_size_bytes=2048,
+                                   l2_tile_size_bytes=16 * 1024)
+    observed = {}
+    for protocol in ("MESI", "CC-shared-to-L2", "TSO-CC-4-12-3", "TSO-CC-4-9-3"):
+        workload, _expected = _build_random_drf_workload(seed)
+        result = run_workload(workload, protocol, config)
+        observed[protocol] = tuple(result.result_of(core, "total")
+                                   for core in range(4))
+    assert len(set(observed.values())) == 1, observed

@@ -1,0 +1,161 @@
+"""Tests for messages, mesh topology and the network model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.interconnect.message import Message, MessageClass, MessageType
+from repro.interconnect.network import Network
+from repro.interconnect.topology import MeshTopology
+from repro.sim.simulator import Simulator
+
+
+# ---------------------------------------------------------------------- messages
+
+def test_control_message_is_one_flit():
+    msg = Message(mtype=MessageType.GETS, src=0, dst=1, address=0x40)
+    assert msg.flits(flit_bytes=16, header_bytes=8, line_bytes=64) == 1
+
+
+def test_data_message_flit_count_matches_paper_platform():
+    msg = Message(mtype=MessageType.DATA_S, src=0, dst=1, address=0x40,
+                  data={0: 1})
+    # 8B header + 64B line over 16B flits = 5 flits
+    assert msg.flits(flit_bytes=16, header_bytes=8, line_bytes=64) == 5
+
+
+def test_dataless_response_counts_as_control():
+    msg = Message(mtype=MessageType.DATA_X, src=0, dst=1, address=0x40, data=None)
+    assert msg.flits() == 1
+
+
+def test_message_classes():
+    assert MessageType.GETS.msg_class is MessageClass.REQUEST
+    assert MessageType.INV.msg_class is MessageClass.INVALIDATION
+    assert MessageType.TS_RESET.msg_class is MessageClass.BROADCAST
+    assert MessageType.PUTM.carries_data and not MessageType.PUTE.carries_data
+
+
+# ---------------------------------------------------------------------- topology
+
+def test_node_id_assignment():
+    topo = MeshTopology(num_cores=4, num_l2_tiles=4, rows=2)
+    assert topo.l1_node(2) == 2
+    assert topo.l2_node(1) == 5
+    assert topo.is_l1_node(3) and not topo.is_l1_node(4)
+    assert topo.is_l2_node(7)
+    assert topo.core_of_node(3) == 3
+    assert topo.tile_of_node(6) == 2
+
+
+def test_colocated_l1_l2_have_zero_hops():
+    topo = MeshTopology(num_cores=8, num_l2_tiles=8, rows=4)
+    for core in range(8):
+        assert topo.hops(topo.l1_node(core), topo.l2_node(core)) == 0
+
+
+def test_hops_symmetric_and_triangle():
+    topo = MeshTopology(num_cores=16, num_l2_tiles=16, rows=4)
+    nodes = [topo.l1_node(0), topo.l1_node(5), topo.l2_node(12)]
+    for a in nodes:
+        for b in nodes:
+            assert topo.hops(a, b) == topo.hops(b, a)
+            assert topo.hops(a, a) == 0
+
+
+def test_out_of_range_ids_rejected():
+    topo = MeshTopology(num_cores=4, num_l2_tiles=4)
+    with pytest.raises(ValueError):
+        topo.l1_node(4)
+    with pytest.raises(ValueError):
+        topo.l2_node(-1)
+    with pytest.raises(ValueError):
+        topo.core_of_node(5)
+
+
+@given(cores=st.integers(min_value=1, max_value=64),
+       rows=st.integers(min_value=1, max_value=8))
+def test_all_nodes_have_positions(cores, rows):
+    topo = MeshTopology(num_cores=cores, num_l2_tiles=cores, rows=rows)
+    for node in topo.all_l1_nodes() + topo.all_l2_nodes():
+        row, col = topo.node_position(node)
+        assert 0 <= row < topo.rows
+        assert 0 <= col < topo.cols
+
+
+# ---------------------------------------------------------------------- network
+
+class Sink:
+    def __init__(self):
+        self.received = []
+
+    def handle_message(self, msg):
+        self.received.append(msg)
+
+
+def make_network(num_cores=4):
+    sim = Simulator()
+    topo = MeshTopology(num_cores=num_cores, num_l2_tiles=num_cores, rows=2)
+    net = Network(topology=topo, scheduler=sim)
+    sinks = {}
+    for node in topo.all_l1_nodes() + topo.all_l2_nodes():
+        sinks[node] = Sink()
+        net.register(node, sinks[node])
+    return sim, topo, net, sinks
+
+
+def test_network_delivers_after_latency():
+    sim, topo, net, sinks = make_network()
+    msg = Message(mtype=MessageType.GETS, src=0, dst=topo.l2_node(3), address=0x40)
+    latency = net.send(msg)
+    assert latency >= net.min_latency
+    assert sinks[topo.l2_node(3)].received == []
+    sim.run()
+    assert sinks[topo.l2_node(3)].received == [msg]
+    assert net.in_flight == 0
+
+
+def test_network_traffic_accounting():
+    sim, topo, net, sinks = make_network()
+    net.send(Message(mtype=MessageType.GETS, src=0, dst=1, address=0x40))
+    net.send(Message(mtype=MessageType.DATA_S, src=1, dst=0, address=0x40, data={0: 1}))
+    sim.run()
+    assert net.stats.messages == 2
+    assert net.stats.flits == 1 + 5
+    assert net.stats.by_class[MessageClass.REQUEST] == 1
+    assert net.stats.flits_by_class[MessageClass.RESPONSE] == 5
+    assert net.stats.as_dict()["flits"] == 6
+
+
+def test_network_broadcast_excludes_sender():
+    sim, topo, net, sinks = make_network()
+    template = Message(mtype=MessageType.TS_RESET, src=0, dst=0,
+                       info={"source": 0, "epoch": 1})
+    count = net.broadcast(template, topo.all_l1_nodes(), exclude=0)
+    sim.run()
+    assert count == 3
+    assert not sinks[0].received
+    for node in (1, 2, 3):
+        assert len(sinks[node].received) == 1
+        assert sinks[node].received[0].info["epoch"] == 1
+
+
+def test_unregistered_destination_rejected():
+    sim = Simulator()
+    topo = MeshTopology(num_cores=2, num_l2_tiles=2)
+    net = Network(topology=topo, scheduler=sim)
+    with pytest.raises(ValueError):
+        net.send(Message(mtype=MessageType.GETS, src=0, dst=1))
+
+
+def test_duplicate_registration_rejected():
+    sim, topo, net, sinks = make_network()
+    with pytest.raises(ValueError):
+        net.register(0, Sink())
+
+
+def test_larger_messages_take_longer():
+    sim, topo, net, _ = make_network()
+    src, dst = 0, topo.l2_node(3)
+    control = net.latency(src, dst, flits=1)
+    data = net.latency(src, dst, flits=5)
+    assert data == control + 4

@@ -1,0 +1,82 @@
+"""Unit and property tests for address arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memsys.address import AddressMap, is_power_of_two, log2_int
+
+
+def test_power_of_two_helpers():
+    assert is_power_of_two(1)
+    assert is_power_of_two(64)
+    assert not is_power_of_two(0)
+    assert not is_power_of_two(48)
+    assert log2_int(64) == 6
+    with pytest.raises(ValueError):
+        log2_int(48)
+
+
+def test_line_alignment_and_offsets():
+    amap = AddressMap(line_size=64, num_l2_tiles=4)
+    assert amap.line_address(0x1234) == 0x1200
+    assert amap.line_offset(0x1234) == 0x34
+    assert amap.offset_bits == 6
+    assert amap.same_line(0x1200, 0x123F)
+    assert not amap.same_line(0x1200, 0x1240)
+
+
+def test_set_index_and_tag_partition_address():
+    amap = AddressMap(line_size=64)
+    address = 0xDEADBEC0
+    num_sets = 128
+    set_index = amap.set_index(address, num_sets)
+    tag = amap.tag(address, num_sets)
+    assert 0 <= set_index < num_sets
+    # Reconstructing the line index from tag and set must round-trip.
+    assert (tag * num_sets + set_index) == amap.line_index(address)
+
+
+def test_set_index_requires_power_of_two_sets():
+    amap = AddressMap()
+    with pytest.raises(ValueError):
+        amap.set_index(0x1000, 100)
+
+
+def test_home_tile_interleaving_is_balanced():
+    amap = AddressMap(line_size=64, num_l2_tiles=4)
+    homes = [amap.home_tile(i * 64) for i in range(16)]
+    assert homes == [0, 1, 2, 3] * 4
+
+
+def test_lines_in_range():
+    amap = AddressMap(line_size=64)
+    assert amap.lines_in_range(0, 1) == [0]
+    assert amap.lines_in_range(60, 8) == [0, 64]
+    assert amap.lines_in_range(0, 128) == [0, 64]
+    assert amap.lines_in_range(0, 0) == []
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        AddressMap(line_size=48)
+    with pytest.raises(ValueError):
+        AddressMap(num_l2_tiles=0)
+
+
+@given(address=st.integers(min_value=0, max_value=2**40),
+       line_size_exp=st.integers(min_value=3, max_value=8))
+def test_line_address_properties(address, line_size_exp):
+    """Line address is aligned, below the address, within one line of it."""
+    amap = AddressMap(line_size=1 << line_size_exp)
+    line = amap.line_address(address)
+    assert line % amap.line_size == 0
+    assert line <= address < line + amap.line_size
+    assert amap.line_address(line) == line
+    assert amap.line_offset(address) == address - line
+
+
+@given(address=st.integers(min_value=0, max_value=2**40),
+       tiles=st.integers(min_value=1, max_value=33))
+def test_home_tile_in_range(address, tiles):
+    amap = AddressMap(num_l2_tiles=tiles)
+    assert 0 <= amap.home_tile(address) < tiles

@@ -1,0 +1,63 @@
+"""Tests for main memory and cache-line containers."""
+
+import pytest
+
+from repro.memsys.address import AddressMap
+from repro.memsys.cacheline import CacheLine
+from repro.memsys.memory import MainMemory
+
+
+def test_cacheline_data_roundtrip():
+    line = CacheLine(address=0x1000)
+    assert line.read_word(8) == 0
+    line.write_word(8, 42)
+    assert line.read_word(8) == 42
+    assert line.dirty
+    copy = line.copy_data()
+    copy[8] = 99
+    assert line.read_word(8) == 42  # copy is independent
+
+
+def test_cacheline_merge_and_reset():
+    line = CacheLine(address=0)
+    line.write_word(0, 5)
+    line.merge_data({0: 7, 8: 9})
+    assert line.read_word(0) == 7 and line.read_word(8) == 9
+    line.acnt = 3
+    line.ts = 10
+    line.sharers = {1, 2}
+    line.reset_metadata()
+    assert line.acnt == 0 and line.ts is None and line.sharers == set()
+
+
+def test_memory_read_write_line():
+    mem = MainMemory(AddressMap(line_size=64), latency_min=10, latency_max=20, seed=3)
+    assert mem.read_line(0x1000) == {}
+    mem.write_line(0x1000, {0: 1, 8: 2})
+    data = mem.read_line(0x1008)          # any address within the line
+    assert data == {0: 1, 8: 2}
+    assert mem.reads == 2 and mem.writes == 1
+
+
+def test_memory_latency_range_and_determinism():
+    mem_a = MainMemory(AddressMap(), latency_min=120, latency_max=230, seed=5)
+    mem_b = MainMemory(AddressMap(), latency_min=120, latency_max=230, seed=5)
+    lat_a = [mem_a.access_latency() for _ in range(50)]
+    lat_b = [mem_b.access_latency() for _ in range(50)]
+    assert lat_a == lat_b
+    assert all(120 <= lat <= 230 for lat in lat_a)
+
+
+def test_memory_peek_poke():
+    mem = MainMemory(AddressMap())
+    mem.poke_word(0x2040, 77)
+    assert mem.peek_word(0x2040) == 77
+    # peek/poke must not count as accesses
+    assert mem.reads == 0 and mem.writes == 0
+
+
+def test_memory_invalid_latency():
+    with pytest.raises(ValueError):
+        MainMemory(AddressMap(), latency_min=0, latency_max=10)
+    with pytest.raises(ValueError):
+        MainMemory(AddressMap(), latency_min=20, latency_max=10)

@@ -1,0 +1,76 @@
+"""Tests for replacement policies."""
+
+import pytest
+
+from repro.memsys.replacement import (
+    FIFOReplacement,
+    LRUReplacement,
+    RandomReplacement,
+    make_replacement_policy,
+)
+
+
+def test_lru_prefers_least_recently_used():
+    lru = LRUReplacement()
+    lru.fill(0, 0)
+    lru.fill(0, 1)
+    lru.fill(0, 2)
+    lru.touch(0, 0)
+    assert lru.victim(0, [0, 1, 2]) == 1
+    lru.touch(0, 1)
+    assert lru.victim(0, [0, 1, 2]) == 2
+
+
+def test_lru_untracked_way_is_chosen_first():
+    lru = LRUReplacement()
+    lru.fill(0, 1)
+    assert lru.victim(0, [0, 1]) == 0
+
+
+def test_lru_invalidate_resets_way():
+    lru = LRUReplacement()
+    lru.fill(0, 0)
+    lru.fill(0, 1)
+    lru.invalidate(0, 1)
+    assert lru.victim(0, [0, 1]) == 1
+
+
+def test_fifo_ignores_touches():
+    fifo = FIFOReplacement()
+    fifo.fill(0, 0)
+    fifo.fill(0, 1)
+    fifo.touch(0, 0)
+    fifo.touch(0, 0)
+    assert fifo.victim(0, [0, 1]) == 0
+
+
+def test_random_is_deterministic_per_seed():
+    a = RandomReplacement(seed=7)
+    b = RandomReplacement(seed=7)
+    picks_a = [a.victim(0, [0, 1, 2, 3]) for _ in range(20)]
+    picks_b = [b.victim(0, [0, 1, 2, 3]) for _ in range(20)]
+    assert picks_a == picks_b
+    assert set(picks_a) <= {0, 1, 2, 3}
+
+
+def test_victim_requires_candidates():
+    for policy in (LRUReplacement(), FIFOReplacement(), RandomReplacement()):
+        with pytest.raises(ValueError):
+            policy.victim(0, [])
+
+
+def test_factory():
+    assert isinstance(make_replacement_policy("lru"), LRUReplacement)
+    assert isinstance(make_replacement_policy("FIFO"), FIFOReplacement)
+    assert isinstance(make_replacement_policy("random", seed=3), RandomReplacement)
+    with pytest.raises(ValueError):
+        make_replacement_policy("plru")
+
+
+def test_policies_are_per_set():
+    lru = LRUReplacement()
+    lru.fill(0, 0)
+    lru.fill(1, 1)
+    lru.touch(0, 0)
+    # Set 1 never saw way 0, so it should be preferred there.
+    assert lru.victim(1, [0, 1]) == 0

@@ -1,0 +1,81 @@
+"""Unit and property tests for the FIFO store buffer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memsys.write_buffer import StoreBufferEntry, WriteBuffer
+
+
+def test_fifo_order():
+    wb = WriteBuffer(capacity=4)
+    for i in range(3):
+        wb.enqueue(StoreBufferEntry(address=i * 8, value=i))
+    assert [e.address for e in wb] == [0, 8, 16]
+    assert wb.dequeue().address == 0
+    assert wb.dequeue().address == 8
+    assert wb.head().address == 16
+
+
+def test_capacity_enforced():
+    wb = WriteBuffer(capacity=2)
+    wb.enqueue(StoreBufferEntry(address=0, value=1))
+    wb.enqueue(StoreBufferEntry(address=8, value=2))
+    assert wb.is_full
+    with pytest.raises(RuntimeError):
+        wb.enqueue(StoreBufferEntry(address=16, value=3))
+
+
+def test_underflow():
+    wb = WriteBuffer()
+    with pytest.raises(RuntimeError):
+        wb.dequeue()
+    assert wb.head() is None
+
+
+def test_forwarding_returns_youngest_store():
+    wb = WriteBuffer()
+    wb.enqueue(StoreBufferEntry(address=0x40, value=1))
+    wb.enqueue(StoreBufferEntry(address=0x80, value=2))
+    wb.enqueue(StoreBufferEntry(address=0x40, value=3))
+    assert wb.forward(0x40) == 3
+    assert wb.forward(0x80) == 2
+    assert wb.forward(0xC0) is None
+
+
+def test_statistics():
+    wb = WriteBuffer(capacity=4)
+    for i in range(4):
+        wb.enqueue(StoreBufferEntry(address=i, value=i))
+    for _ in range(4):
+        wb.dequeue()
+    assert wb.total_enqueued == 4
+    assert wb.max_occupancy_seen == 4
+    assert wb.is_empty
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        WriteBuffer(capacity=0)
+
+
+@given(ops=st.lists(st.tuples(st.integers(0, 7), st.integers(0, 1000)),
+                    min_size=1, max_size=64))
+def test_forwarding_matches_reference_model(ops):
+    """Forwarding always returns the value of the youngest pending store to
+    the same address, exactly like a dict replayed in order."""
+    wb = WriteBuffer(capacity=len(ops) + 1)
+    reference = {}
+    for address, value in ops:
+        wb.enqueue(StoreBufferEntry(address=address, value=value))
+        reference[address] = value
+        for addr, expected in reference.items():
+            assert wb.forward(addr) == expected
+
+
+@given(ops=st.lists(st.integers(0, 500), min_size=1, max_size=40))
+def test_fifo_drain_order_property(ops):
+    wb = WriteBuffer(capacity=len(ops))
+    for i, value in enumerate(ops):
+        wb.enqueue(StoreBufferEntry(address=i, value=value))
+    drained = [wb.dequeue().value for _ in range(len(ops))]
+    assert drained == ops

@@ -1,0 +1,170 @@
+"""Tests for the discrete-event engine, system config and statistics."""
+
+import pytest
+
+from repro.sim.config import PAPER_SYSTEM, SystemConfig
+from repro.sim.simulator import Simulator
+from repro.sim.stats import CoreStats, L1Stats, L2Stats, SystemStats
+
+
+# ---------------------------------------------------------------------- simulator
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(10, lambda: order.append("b"))
+    sim.schedule(5, lambda: order.append("a"))
+    sim.schedule(10, lambda: order.append("c"))  # same time: FIFO
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 10
+    assert sim.events_executed == 3
+
+
+def test_schedule_relative_and_absolute():
+    sim = Simulator()
+    seen = []
+    sim.schedule(3, lambda: sim.schedule_at(7, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [7]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+    sim.schedule(5, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(1, lambda: None)
+
+
+def test_until_predicate_stops_run():
+    sim = Simulator()
+    counter = {"n": 0}
+
+    def tick():
+        counter["n"] += 1
+        sim.schedule(1, tick)
+
+    sim.schedule(0, tick)
+    sim.run(until=lambda: counter["n"] >= 5)
+    assert counter["n"] == 5
+
+
+def test_max_cycles_watchdog():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(10, forever)
+
+    sim.schedule(0, forever)
+    with pytest.raises(RuntimeError):
+        sim.run(max_cycles=1000)
+
+
+def test_max_events_watchdog():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1, forever)
+
+    sim.schedule(0, forever)
+    with pytest.raises(RuntimeError):
+        sim.run(max_events=50)
+
+
+# ---------------------------------------------------------------------- config
+
+def test_paper_system_matches_table2():
+    assert PAPER_SYSTEM.num_cores == 32
+    assert PAPER_SYSTEM.l1_size_bytes == 32 * 1024
+    assert PAPER_SYSTEM.l2_tile_size_bytes == 1024 * 1024
+    assert PAPER_SYSTEM.effective_l2_tiles == 32
+    assert PAPER_SYSTEM.memory_latency_min == 120
+    assert PAPER_SYSTEM.memory_latency_max == 230
+    assert PAPER_SYSTEM.l1_lines == 512
+    assert PAPER_SYSTEM.l2_tile_lines == 16384
+    assert "2D Mesh" in PAPER_SYSTEM.describe()
+
+
+def test_scaled_preserves_geometry_knobs():
+    scaled = PAPER_SYSTEM.scaled(num_cores=4, l1_size_bytes=2048,
+                                 l2_tile_size_bytes=16 * 1024)
+    assert scaled.num_cores == 4
+    assert scaled.effective_l2_tiles == 4
+    assert scaled.l1_hit_latency == PAPER_SYSTEM.l1_hit_latency
+    assert scaled.memory_latency_max == PAPER_SYSTEM.memory_latency_max
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SystemConfig(num_cores=0)
+    with pytest.raises(ValueError):
+        SystemConfig(write_buffer_entries=0)
+
+
+# ---------------------------------------------------------------------- stats
+
+def test_l1_stats_accumulation_and_rates():
+    stats = L1Stats()
+    stats.record_hit("read", "shared")
+    stats.record_hit("read", "private")
+    stats.record_hit("write", "private")
+    stats.record_miss("read", "invalid")
+    stats.record_miss("write", "shared")
+    assert stats.total_reads == 3
+    assert stats.total_writes == 2
+    assert stats.total_misses == 2
+    assert stats.miss_rate == pytest.approx(2 / 5)
+
+
+def test_l1_stats_self_invalidation_fractions():
+    stats = L1Stats()
+    stats.data_responses = 10
+    stats.record_self_invalidation("acquire", lines=3, from_response=True)
+    stats.record_self_invalidation("invalid_ts", lines=1, from_response=True)
+    stats.record_self_invalidation("fence", lines=2, from_response=False)
+    frac = stats.self_inval_response_fraction()
+    assert frac["acquire"] == pytest.approx(0.1)
+    assert frac["invalid_ts"] == pytest.approx(0.1)
+    causes = stats.self_inval_cause_fraction()
+    assert causes["fence"] == pytest.approx(1 / 3)
+    assert stats.lines_self_invalidated == 6
+
+
+def test_l1_stats_merge():
+    a, b = L1Stats(), L1Stats()
+    a.record_hit("read", "shared")
+    b.record_hit("read", "shared")
+    b.record_miss("write", "invalid")
+    b.rmws, b.rmw_latency_total = 2, 100
+    a.merge(b)
+    assert a.read_hits["shared"] == 2
+    assert a.write_misses["invalid"] == 1
+    assert a.avg_rmw_latency == 50
+
+
+def test_system_stats_breakdowns_sum_to_one():
+    stats = SystemStats(cycles=100)
+    l1 = L1Stats()
+    l1.record_hit("read", "shared")
+    l1.record_hit("read", "shared_ro")
+    l1.record_hit("write", "private")
+    l1.record_miss("read", "invalid")
+    stats.l1 = [l1]
+    stats.cores = [CoreStats(finish_time=100)]
+    stats.l2 = [L2Stats()]
+    hits = stats.hit_breakdown()
+    assert sum(hits.values()) == pytest.approx(1.0)
+    summary = stats.summary()
+    assert summary["l1_accesses"] == 4
+    assert summary["l1_misses"] == 1
+
+
+def test_core_stats_merge_takes_max_finish_time():
+    a = CoreStats(finish_time=50, loads=1)
+    b = CoreStats(finish_time=80, loads=2)
+    a.merge(b)
+    assert a.finish_time == 80
+    assert a.loads == 3

@@ -1,0 +1,201 @@
+"""Tests for the workload layer: address layout, synchronization primitives,
+the NOrec STM and the benchmark registry.
+
+Synchronization and STM are tested by running small programs on the real
+simulator under both an eager (MESI) and a lazy (TSO-CC) protocol and
+checking functional results — which doubles as an end-to-end check that the
+protocols implement TSO well enough for standard synchronization idioms.
+"""
+
+import pytest
+
+from repro.cpu.instruction import Load, Store
+from repro.sim.config import SystemConfig
+from repro.sim.system import build_system
+from repro.workloads.benchmarks import BENCHMARK_FAMILIES, benchmark_names, make_benchmark
+from repro.workloads.layout import AddressSpace
+from repro.workloads.stm import NOrecSTM
+from repro.workloads.sync import barrier_wait, lock_acquire, lock_release
+from repro.workloads.trace import TraceOp, Workload, trace_program
+
+from conftest import run_workload
+
+
+# ------------------------------------------------------------------ layout
+
+def test_address_space_alignment_and_isolation():
+    space = AddressSpace(line_size=64)
+    a = space.array("a", 4)
+    b = space.array("b", 4)
+    assert a % 64 == 0 and b % 64 == 0
+    # Regions never overlap.
+    assert b >= a + 4 * 64
+    assert space.addr("a", 3) == a + 3 * 64
+    with pytest.raises(IndexError):
+        space.addr("a", 4)
+    with pytest.raises(ValueError):
+        space.array("a", 2)          # duplicate name
+
+
+def test_address_space_packed_stride_creates_false_sharing():
+    space = AddressSpace(line_size=64)
+    packed = space.array("packed", 8, stride=8)
+    # Eight 8-byte elements fit in exactly one cache line.
+    assert (space.addr("packed", 7) - packed) < 64
+    assert space.size_bytes() >= 64
+
+
+def test_scalar_and_region_queries():
+    space = AddressSpace(line_size=64)
+    flag = space.scalar("flag")
+    base, count, stride = space.region("flag")
+    assert base == flag and count == 1 and stride == 64
+
+
+# ------------------------------------------------------------------ trace programs
+
+def test_trace_program_replays_and_records():
+    ops = [
+        TraceOp(kind="store", address=0x80, value=5),
+        TraceOp(kind="load", address=0x80, record_as="r0"),
+        TraceOp(kind="work", value=10),
+        TraceOp(kind="fence"),
+        TraceOp(kind="rmw", address=0x80, value=2, record_as="old"),
+    ]
+    workload = Workload(name="trace", programs=[trace_program(ops)])
+    config = SystemConfig().scaled(num_cores=1)
+    result = run_workload(workload, "TSO-CC-4-12-3", config)
+    assert result.result_of(0, "r0") == 5
+    assert result.result_of(0, "old") == 5
+
+
+def test_trace_program_rejects_unknown_kind():
+    program = trace_program([TraceOp(kind="prefetch", address=0)])
+    with pytest.raises(ValueError):
+        list(program(None))
+
+
+# ------------------------------------------------------------------ synchronization on the simulator
+
+@pytest.mark.parametrize("protocol", ["MESI", "TSO-CC-4-12-3", "TSO-CC-4-basic"])
+def test_spinlock_provides_mutual_exclusion(protocol, small_config):
+    """Increment a shared counter under a spinlock; the total must be exact
+    under every protocol (mutual exclusion + write propagation)."""
+    space = AddressSpace()
+    lock = space.scalar("lock")
+    counter = space.scalar("counter")
+    bar_count = space.scalar("bc")
+    bar_gen = space.scalar("bg")
+    cores, per_core = 4, 12
+
+    def make_program(core_id):
+        def program(ctx):
+            for _ in range(per_core):
+                yield from lock_acquire(lock)
+                value = yield Load(counter)
+                yield Store(counter, value + 1)
+                yield from lock_release(lock)
+            yield from barrier_wait(bar_count, bar_gen, cores)
+            final = yield Load(counter)
+            ctx.record("final", final)
+        return program
+
+    workload = Workload(name="mutex", programs=[make_program(c) for c in range(cores)])
+    result = run_workload(workload, protocol, small_config)
+    for core in range(cores):
+        assert result.result_of(core, "final") == cores * per_core
+
+
+@pytest.mark.parametrize("protocol", ["MESI", "TSO-CC-4-12-3"])
+def test_barrier_orders_phases(protocol, small_config):
+    """After a barrier every core must observe every pre-barrier write."""
+    space = AddressSpace()
+    data = space.array("data", 4)
+    bar_count = space.scalar("bc")
+    bar_gen = space.scalar("bg")
+    cores = 4
+
+    def make_program(core_id):
+        def program(ctx):
+            yield Store(data + core_id * 64, core_id + 1)
+            yield from barrier_wait(bar_count, bar_gen, cores)
+            total = 0
+            for other in range(cores):
+                total += yield Load(data + other * 64)
+            ctx.record("total", total)
+        return program
+
+    workload = Workload(name="barrier", programs=[make_program(c) for c in range(cores)])
+    result = run_workload(workload, protocol, small_config)
+    for core in range(cores):
+        assert result.result_of(core, "total") == sum(range(1, cores + 1))
+
+
+@pytest.mark.parametrize("protocol", ["MESI", "TSO-CC-4-12-3"])
+def test_norec_stm_transfers_conserve_total(protocol, small_config):
+    """Concurrent NOrec transactions move value between accounts; the grand
+    total must be conserved (atomicity + isolation on top of TSO)."""
+    space = AddressSpace()
+    seqlock = space.scalar("seqlock")
+    accounts = space.array("accounts", 8)
+    bar_count = space.scalar("bc")
+    bar_gen = space.scalar("bg")
+    cores, transfers, initial = 4, 10, 100
+
+    def make_program(core_id):
+        def program(ctx):
+            stm = NOrecSTM(seqlock)
+            if core_id == 0:
+                for i in range(8):
+                    yield Store(accounts + i * 64, initial)
+            yield from barrier_wait(bar_count, bar_gen, cores)
+            for n in range(transfers):
+                src = (core_id + n) % 8
+                dst = (core_id * 3 + n) % 8
+
+                def body(tx, src=src, dst=dst):
+                    a = yield from tx.read(accounts + src * 64)
+                    b = yield from tx.read(accounts + dst * 64)
+                    if src != dst:
+                        yield from tx.write(accounts + src * 64, a - 1)
+                        yield from tx.write(accounts + dst * 64, b + 1)
+                    return a + b
+
+                yield from stm.run_transaction(body)
+            yield from barrier_wait(bar_count, bar_gen, cores)
+            total = 0
+            for i in range(8):
+                total += yield Load(accounts + i * 64)
+            ctx.record("total", total)
+            ctx.record("commits", stm.commits)
+        return program
+
+    workload = Workload(name="stm-transfer",
+                        programs=[make_program(c) for c in range(cores)])
+    result = run_workload(workload, protocol, small_config)
+    for core in range(cores):
+        assert result.result_of(core, "total") == 8 * initial
+        assert result.result_of(core, "commits") == transfers
+
+
+# ------------------------------------------------------------------ benchmark registry
+
+def test_benchmark_registry_completeness():
+    names = benchmark_names()
+    assert len(names) == 16
+    assert set(BENCHMARK_FAMILIES.values()) == {"PARSEC", "SPLASH-2", "STAMP"}
+    assert names[0] == "blackscholes" and names[-1] == "vacation"
+
+
+def test_make_benchmark_validation():
+    with pytest.raises(KeyError):
+        make_benchmark("doesnotexist")
+    with pytest.raises(ValueError):
+        make_benchmark("fft", num_cores=1)
+
+
+def test_benchmarks_scale_parameter_changes_size():
+    small = make_benchmark("canneal", num_cores=4, scale=0.2)
+    large = make_benchmark("canneal", num_cores=4, scale=1.0)
+    assert small.params["swaps"] < large.params["swaps"]
+    assert small.num_cores == 4
