@@ -7,12 +7,20 @@ cached), and every benchmark writes the regenerated table to
 ``benchmarks/results/`` so the numbers can be inspected and compared against
 the paper (see EXPERIMENTS.md).
 
+Independent matrix cells are fanned out over worker processes and persisted
+in the content-addressed result cache under ``benchmarks/results/cache/``,
+so re-running a figure benchmark with an unchanged configuration performs
+zero new simulations.
+
 Environment knobs (all optional):
 
 * ``REPRO_BENCH_CORES``     — simulated core count (default 8)
 * ``REPRO_BENCH_SCALE``     — workload scale factor (default 0.35)
 * ``REPRO_BENCH_WORKLOADS`` — comma-separated subset of Table 3 names
 * ``REPRO_BENCH_PROTOCOLS`` — comma-separated subset of configuration names
+* ``REPRO_BENCH_JOBS``      — worker processes for the matrix fan-out
+  (default: ``REPRO_JOBS`` or the CPU count)
+* ``REPRO_BENCH_CACHE``     — set to ``0`` to bypass the on-disk result cache
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.experiments import ExperimentRunner
+from repro.analysis.parallel import ResultCache
 from repro.sim.config import SystemConfig
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -38,11 +47,17 @@ def bench_runner() -> ExperimentRunner:
     """Session-cached experiment runner for the full evaluation matrix."""
     num_cores = int(os.environ.get("REPRO_BENCH_CORES", "8"))
     scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+    jobs_env = os.environ.get("REPRO_BENCH_JOBS", "").strip()
+    jobs = int(jobs_env) if jobs_env else None
+    cache_enabled = os.environ.get("REPRO_BENCH_CACHE", "1").lower() not in (
+        "0", "false", "no")
     runner = ExperimentRunner(
         system_config=SystemConfig().scaled(num_cores=num_cores),
         protocols=_env_list("REPRO_BENCH_PROTOCOLS"),
         workloads=_env_list("REPRO_BENCH_WORKLOADS"),
         scale=scale,
+        jobs=jobs,
+        cache=ResultCache(RESULTS_DIR / "cache", enabled=cache_enabled),
     )
     return runner
 
@@ -52,9 +67,3 @@ def results_dir() -> Path:
     """Directory the regenerated tables are written to."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR
-
-
-def _unused_write_result(results_dir: Path, name: str, content: str) -> None:
-    """Write one regenerated artefact (and echo a short header to stdout)."""
-    path = results_dir / name
-    path.write_text(content + "\n", encoding="utf-8")

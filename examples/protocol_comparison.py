@@ -6,24 +6,44 @@ configurations (MESI, CC-shared-to-L2, TSO-CC-4-basic/noreset/12-3/12-0/9-3)
 and prints execution time and network traffic normalized to MESI — a small
 interactive version of Figures 3 and 4.
 
+Independent (workload, protocol) simulations are fanned out over worker
+processes and previously simulated cells are reused from the on-disk result
+cache in ``benchmarks/results/cache/`` (see EXPERIMENTS.md).
+
 Run with::
 
-    python examples/protocol_comparison.py            # default subset
+    python examples/protocol_comparison.py                  # default subset
     python examples/protocol_comparison.py intruder radix fft
+    python examples/protocol_comparison.py --jobs 8 --no-cache fft radix
 """
 
+import argparse
 import sys
+from pathlib import Path
 
-from repro.analysis import ExperimentRunner, format_series_table
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis import ExperimentRunner, ResultCache, format_series_table
+from repro.analysis.parallel import DEFAULT_CACHE_DIR
 from repro.sim.config import SystemConfig
 
 
 def main() -> None:
-    workloads = sys.argv[1:] or ["fft", "lu_noncontig", "radix", "intruder"]
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("workloads", nargs="*",
+                        default=["fft", "lu_noncontig", "radix", "intruder"])
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS or CPU count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not update the on-disk result cache")
+    args = parser.parse_args()
+
     runner = ExperimentRunner(
         system_config=SystemConfig().scaled(num_cores=8),
-        workloads=workloads,
+        workloads=args.workloads,
         scale=0.4,
+        jobs=args.jobs,
+        cache=ResultCache(DEFAULT_CACHE_DIR, enabled=not args.no_cache),
     )
     runner.run_all()
 
@@ -34,6 +54,10 @@ def main() -> None:
     fig4 = runner.figure4_network_traffic()
     print(format_series_table(fig4.series, row_order=fig4.row_order,
                               title="Network traffic normalized to MESI (Figure 4 subset)"))
+    executed = runner.executor.simulations_run
+    total = len(runner.protocols) * len(runner.workloads)
+    print(f"\n[{executed} of {total} cells simulated, "
+          f"{total - executed} served from cache]")
 
 
 if __name__ == "__main__":

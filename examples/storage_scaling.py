@@ -7,28 +7,40 @@ for core counts up to 128 with the paper's cache geometry (1MB of L2 per
 core, 64B lines, 32KB L1 per core), and prints the Figure 2 series together
 with the headline reduction percentages quoted in §4.2.
 
+The series is produced by the same :class:`ExperimentRunner` that backs the
+figure benchmarks (Figure 2 is analytic — no simulation, so no ``--jobs``).
+
 Run with::
 
     python examples/storage_scaling.py
+    python examples/storage_scaling.py --cores 16,64,256
 """
 
-from repro import SystemConfig, StorageModel
-from repro.core.config import PAPER_TSOCC_CONFIGS, TSO_CC_4_12_3, TSO_CC_4_BASIC, CC_SHARED_TO_L2
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis import ExperimentRunner, format_series_table
+from repro.core.config import CC_SHARED_TO_L2, TSO_CC_4_12_3, TSO_CC_4_BASIC
+from repro.core.storage import StorageModel
+from repro.sim.config import SystemConfig
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cores", default="16,32,48,64,80,96,112,128",
+                        help="comma-separated core counts")
+    args = parser.parse_args()
+    core_counts = tuple(int(c) for c in args.cores.split(",") if c.strip())
+
+    figure = ExperimentRunner().figure2_storage(core_counts=core_counts)
+    print(format_series_table(figure.series, row_order=figure.row_order,
+                              title=f"{figure.figure} — {figure.description}",
+                              row_label="cores"))
+
     model = StorageModel(SystemConfig())
-    series = model.figure2_series(PAPER_TSOCC_CONFIGS,
-                                  core_counts=(16, 32, 48, 64, 80, 96, 112, 128))
-    cores = [int(c) for c in series.pop("cores")]
-
-    header = f"{'cores':>6s}" + "".join(f"{name:>18s}" for name in series)
-    print("Coherence storage overhead (MB) — Figure 2")
-    print(header)
-    for i, count in enumerate(cores):
-        row = f"{count:>6d}" + "".join(f"{series[name][i]:>18.2f}" for name in series)
-        print(row)
-
     print("\nHeadline reductions vs MESI (paper §4.2 in parentheses):")
     for config, cores_at, paper in ((TSO_CC_4_12_3, 32, "38%"),
                                     (TSO_CC_4_12_3, 128, "82%"),

@@ -5,17 +5,26 @@
 * :mod:`repro.analysis.experiments` — :class:`ExperimentRunner`: runs
   (workload x protocol) matrices and produces the per-figure data series of
   the paper's evaluation (Figures 3-9), plus the storage series of Figure 2.
+* :mod:`repro.analysis.parallel` — :class:`MatrixExecutor` (process-pool
+  fan-out of matrix cells) and :class:`ResultCache` (content-addressed
+  on-disk result cache); see EXPERIMENTS.md.
 * :mod:`repro.analysis.tables` — plain-text table rendering used by the
   benchmark harness and the examples.
 """
 
 from repro.analysis.experiments import ExperimentRunner, FigureData
 from repro.analysis.metrics import amean, gmean, normalize_to_baseline
+from repro.analysis.parallel import (MatrixExecutor, ResultCache,
+                                     WorkloadValidationError, resolve_jobs)
 from repro.analysis.tables import format_series_table, format_table
 
 __all__ = [
     "ExperimentRunner",
     "FigureData",
+    "MatrixExecutor",
+    "ResultCache",
+    "WorkloadValidationError",
+    "resolve_jobs",
     "gmean",
     "amean",
     "normalize_to_baseline",

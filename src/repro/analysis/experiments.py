@@ -19,6 +19,12 @@ Method                        Paper artefact
 
 The benchmark harness in ``benchmarks/`` is a thin wrapper around this class
 (one pytest-benchmark entry per figure), and the examples use it directly.
+
+Execution is delegated to :class:`~repro.analysis.parallel.MatrixExecutor`:
+independent (workload, protocol) cells are fanned out over a process pool
+(``jobs`` argument / ``REPRO_JOBS`` env var) and can be served from the
+content-addressed on-disk cache in ``benchmarks/results/cache/`` when a
+:class:`~repro.analysis.parallel.ResultCache` is supplied.
 """
 
 from __future__ import annotations
@@ -27,14 +33,13 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis.metrics import add_summary_row, gmean, normalize_to_baseline
+from repro.analysis.parallel import MatrixExecutor, ResultCache
 from repro.core.config import PAPER_TSOCC_CONFIGS
 from repro.core.storage import StorageModel
 from repro.protocols.registry import PAPER_CONFIGURATIONS, get_protocol_spec
 from repro.sim.config import SystemConfig
 from repro.sim.stats import SystemStats
-from repro.sim.system import build_system
-from repro.workloads.benchmarks import benchmark_names, make_benchmark
-from repro.workloads.trace import Workload
+from repro.workloads.benchmarks import benchmark_names
 
 
 @dataclass
@@ -58,6 +63,10 @@ class ExperimentRunner:
         workloads: workload names (default: the 16 of Table 3).
         scale: workload scale factor.
         max_cycles: per-run watchdog.
+        jobs: worker-process count for fanning cells out (``None`` →
+            ``REPRO_JOBS`` env var → ``os.cpu_count()``; ``1`` is serial).
+        cache: optional on-disk :class:`ResultCache`; when supplied,
+            previously simulated cells are served from disk.
     """
 
     def __init__(
@@ -67,6 +76,8 @@ class ExperimentRunner:
         workloads: Optional[Sequence[str]] = None,
         scale: float = 0.5,
         max_cycles: int = 200_000_000,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
     ) -> None:
         self.system_config = system_config or SystemConfig().scaled(num_cores=8)
         self.protocols = list(protocols) if protocols else list(PAPER_CONFIGURATIONS)
@@ -74,7 +85,11 @@ class ExperimentRunner:
         self.scale = scale
         self.max_cycles = max_cycles
         self.baseline = self.protocols[0]
-        # protocol -> workload -> SystemStats
+        self.executor = MatrixExecutor(self.system_config, scale=scale,
+                                       max_cycles=max_cycles, jobs=jobs,
+                                       cache=cache)
+        # protocol -> workload -> SystemStats (in-memory memo on top of the
+        # executor's on-disk cache)
         self.results: Dict[str, Dict[str, SystemStats]] = {}
 
     # ------------------------------------------------------------------ running
@@ -84,32 +99,32 @@ class ExperimentRunner:
         cached = self.results.get(protocol, {}).get(workload_name)
         if cached is not None:
             return cached
-        workload = self._make_workload(workload_name)
-        system = build_system(self.system_config, protocol)
-        result = system.run(workload.programs, params=workload.params,
-                            max_cycles=self.max_cycles,
-                            workload_name=workload_name)
-        if not workload.validate(result):
-            raise AssertionError(
-                f"workload {workload_name!r} produced invalid results under "
-                f"{protocol!r} — protocol correctness bug"
-            )
-        self.results.setdefault(protocol, {})[workload_name] = result.stats
-        return result.stats
-
-    def _make_workload(self, name: str) -> Workload:
-        return make_benchmark(name, num_cores=self.system_config.num_cores,
-                              scale=self.scale)
+        stats = self.executor.run_cell(workload_name, protocol)
+        self.results.setdefault(protocol, {})[workload_name] = stats
+        return stats
 
     def run_all(self) -> None:
-        """Run the full matrix (idempotent; cells are cached)."""
-        for protocol in self.protocols:
-            for workload_name in self.workloads:
-                self.run_one(workload_name, protocol)
+        """Run the full matrix (idempotent; cells are cached).
+
+        Missing cells are executed through the :class:`MatrixExecutor`, i.e.
+        in parallel across worker processes when ``jobs > 1``.
+        """
+        missing = [(protocol, workload_name)
+                   for protocol in self.protocols
+                   for workload_name in self.workloads
+                   if workload_name not in self.results.get(protocol, {})]
+        if not missing:
+            return
+        for (protocol, workload_name), stats in \
+                self.executor.run_cells(missing).items():
+            self.results.setdefault(protocol, {})[workload_name] = stats
 
     # ------------------------------------------------------------------ figures
 
     def _metric_matrix(self, metric) -> Dict[str, Dict[str, float]]:
+        # Populate the whole matrix through the executor first so missing
+        # cells are fanned out in parallel rather than fetched one-by-one.
+        self.run_all()
         matrix: Dict[str, Dict[str, float]] = {}
         for protocol in self.protocols:
             matrix[protocol] = {}
@@ -148,6 +163,7 @@ class ExperimentRunner:
 
     def figure5_miss_breakdown(self) -> FigureData:
         """Figure 5: L1 miss rate breakdown by state (percent of accesses)."""
+        self.run_all()
         series: Dict[str, Dict[str, float]] = {}
         for protocol in self.protocols:
             for workload_name in self.workloads:
@@ -162,6 +178,7 @@ class ExperimentRunner:
 
     def figure6_hit_breakdown(self) -> FigureData:
         """Figure 6: L1 hits and misses split by state (percent of accesses)."""
+        self.run_all()
         series: Dict[str, Dict[str, float]] = {}
         for protocol in self.protocols:
             for workload_name in self.workloads:
@@ -175,6 +192,7 @@ class ExperimentRunner:
 
     def figure7_selfinval_triggers(self) -> FigureData:
         """Figure 7: percent of data responses triggering self-invalidation."""
+        self.run_all()
         series: Dict[str, Dict[str, float]] = {}
         for protocol in self.protocols:
             if get_protocol_spec(protocol).is_baseline:
@@ -198,6 +216,7 @@ class ExperimentRunner:
 
     def figure9_selfinval_causes(self) -> FigureData:
         """Figure 9: breakdown of self-invalidation causes (percent)."""
+        self.run_all()
         series: Dict[str, Dict[str, float]] = {}
         for protocol in self.protocols:
             if get_protocol_spec(protocol).is_baseline:

@@ -1,0 +1,304 @@
+"""Parallel execution of the (workload x protocol) experiment matrix.
+
+The paper's evaluation is a full workload x protocol-configuration matrix
+whose cells are completely independent simulations, i.e. embarrassingly
+parallel.  This module provides the execution subsystem underneath
+:class:`~repro.analysis.experiments.ExperimentRunner`:
+
+* :func:`simulate_cell` — runs ONE (workload, protocol) cell from picklable
+  inputs (a :class:`~repro.sim.config.SystemConfig` plus names/scalars) and
+  returns the JSON-serializable ``SystemStats.to_dict()`` payload.  This is
+  the function shipped to worker processes.
+* :class:`MatrixExecutor` — fans a list of cells out over a
+  ``ProcessPoolExecutor`` (worker count from ``jobs``, the ``REPRO_JOBS``
+  environment variable, or ``os.cpu_count()``) and reassembles
+  :class:`~repro.sim.stats.SystemStats` objects on the parent side.
+* :class:`ResultCache` — a content-addressed on-disk cache (default location
+  ``benchmarks/results/cache/``).  The key is the SHA-256 of the canonical
+  JSON of (system configuration, protocol name, workload name, scale,
+  max_cycles, cache schema version, stats schema version), so any change to
+  the experiment inputs — or a schema bump — produces a different key and the
+  cell is re-simulated.
+
+Because every workload builder and the simulator itself are deterministically
+seeded, a cell's statistics are a pure function of the cache-key inputs:
+serial and parallel runs produce byte-identical payloads, and cached results
+are safe to reuse across processes and sessions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.config import SystemConfig
+from repro.sim.stats import STATS_SCHEMA_VERSION, SystemStats
+
+#: Version of the cache-key/entry layout.  Bump to invalidate every cached
+#: result (e.g. after a change to simulator behaviour that is not reflected
+#: in the statistics schema).
+CACHE_SCHEMA_VERSION = 1
+
+def _default_results_root() -> Path:
+    """``benchmarks/`` of the repo checkout when running from one, else the
+    current working directory (e.g. when the package is pip-installed and
+    ``__file__`` points into site-packages)."""
+    repo_root = Path(__file__).resolve().parents[3]
+    if (repo_root / "benchmarks").is_dir():
+        return repo_root / "benchmarks" / "results"
+    return Path.cwd() / "benchmarks" / "results"
+
+
+#: Default on-disk cache location: ``benchmarks/results/cache/``.
+DEFAULT_CACHE_DIR = _default_results_root() / "cache"
+
+
+class WorkloadValidationError(AssertionError):
+    """A workload produced functionally invalid results under a protocol —
+    a protocol correctness bug, not a performance artefact."""
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit ``jobs``, else ``REPRO_JOBS``,
+    else ``os.cpu_count()`` (minimum 1)."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer, got {env!r}") from None
+        else:
+            jobs = os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def simulate_cell(config: SystemConfig, protocol: str, workload_name: str,
+                  scale: float, max_cycles: int) -> Dict[str, object]:
+    """Run one (workload, protocol) cell and return its stats payload.
+
+    Everything needed to run the cell is reconstructed from picklable inputs,
+    so this function can execute inside a worker process.  The workload's
+    functional results are validated before the statistics are returned.
+
+    Raises:
+        WorkloadValidationError: if the workload's functional validation
+            fails (protocol correctness bug).
+    """
+    from repro.sim.system import build_system
+    from repro.workloads.benchmarks import make_benchmark
+
+    workload = make_benchmark(workload_name, num_cores=config.num_cores,
+                              scale=scale)
+    system = build_system(config, protocol)
+    result = system.run(workload.programs, params=workload.params,
+                        max_cycles=max_cycles, workload_name=workload_name)
+    if not workload.validate(result):
+        raise WorkloadValidationError(
+            f"workload {workload_name!r} produced invalid results under "
+            f"{protocol!r} — protocol correctness bug"
+        )
+    return result.stats.to_dict()
+
+
+class ResultCache:
+    """Content-addressed on-disk cache for per-cell simulation results.
+
+    Entries live at ``<root>/<key[:2]>/<key>.json`` where ``key`` is the
+    SHA-256 of the canonical JSON of every input that determines the result.
+    Corrupt or stale-schema entries are treated as misses and removed.
+
+    Args:
+        root: cache directory (created lazily on first write).
+        enabled: when ``False`` every lookup misses and nothing is written —
+            the ``--no-cache`` behaviour without conditional call sites.
+    """
+
+    def __init__(self, root: Path = DEFAULT_CACHE_DIR, enabled: bool = True) -> None:
+        self.root = Path(root)
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, config: SystemConfig, protocol: str, workload_name: str,
+            scale: float, max_cycles: int) -> str:
+        """Compute the content-addressed key for one cell."""
+        payload = {
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "stats_schema": STATS_SCHEMA_VERSION,
+            "config": asdict(config),
+            "protocol": protocol,
+            "workload": workload_name,
+            "scale": scale,
+            "max_cycles": max_cycles,
+        }
+        blob = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def path(self, key: str) -> Path:
+        """Filesystem location of the entry for ``key``."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """Return the cached stats payload for ``key``, or ``None``."""
+        if not self.enabled:
+            return None
+        path = self.path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("schema") != STATS_SCHEMA_VERSION:
+                raise ValueError("stale stats schema")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, OSError):
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, object]) -> None:
+        """Persist one stats payload (atomic rename).
+
+        Best effort: an unwritable cache location disables the cache with a
+        warning rather than failing the run after the simulation succeeded.
+        """
+        if not self.enabled:
+            return
+        path = self.path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Per-process tmp name so concurrent writers of the same key
+            # cannot interleave; the final rename is atomic either way.
+            tmp = path.with_suffix(f".{os.getpid()}.tmp")
+            tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+            tmp.replace(path)
+        except OSError as exc:
+            self.enabled = False
+            print(f"warning: result cache at {self.root} is unusable ({exc}); "
+                  f"continuing without caching", file=sys.stderr)
+
+
+class MatrixExecutor:
+    """Executes (workload, protocol) cells, in parallel and through the cache.
+
+    Args:
+        system_config: platform configuration shared by every cell.
+        scale: workload scale factor.
+        max_cycles: per-run watchdog bound.
+        jobs: worker-process count (``None`` → ``REPRO_JOBS`` env var →
+            ``os.cpu_count()``).  ``1`` runs everything in-process.
+        cache: optional :class:`ResultCache`; ``None`` disables persistence.
+
+    Attributes:
+        simulations_run: number of cells actually simulated (cache misses)
+            over this executor's lifetime — tests use it to assert that a
+            warm cache performs zero new simulations.
+    """
+
+    def __init__(
+        self,
+        system_config: SystemConfig,
+        scale: float = 0.5,
+        max_cycles: int = 200_000_000,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.system_config = system_config
+        self.scale = scale
+        self.max_cycles = max_cycles
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        self.simulations_run = 0
+
+    # ------------------------------------------------------------------ cache
+
+    def _lookup(self, protocol: str, workload_name: str):
+        """Return ``(key, payload-or-None)`` for one cell."""
+        if self.cache is None:
+            return None, None
+        key = self.cache.key(self.system_config, protocol, workload_name,
+                             self.scale, self.max_cycles)
+        return key, self.cache.get(key)
+
+    def _store(self, key: Optional[str], payload: Dict[str, object]) -> None:
+        if self.cache is not None and key is not None:
+            self.cache.put(key, payload)
+
+    # ------------------------------------------------------------------ running
+
+    def run_cell(self, workload_name: str, protocol: str) -> SystemStats:
+        """Run (or fetch from cache) a single cell."""
+        results = self.run_cells([(protocol, workload_name)])
+        return results[(protocol, workload_name)]
+
+    def run_cells(
+        self, cells: Sequence[Tuple[str, str]]
+    ) -> Dict[Tuple[str, str], SystemStats]:
+        """Run many ``(protocol, workload)`` cells, parallelizing the misses.
+
+        Cached cells are served from disk; the remainder are fanned out over
+        a process pool (or run inline when ``jobs == 1`` or only one cell is
+        missing).  Returns a dict keyed by the ``(protocol, workload)`` pair.
+        """
+        results: Dict[Tuple[str, str], SystemStats] = {}
+        pending: List[Tuple[str, str, Optional[str]]] = []
+        for protocol, workload_name in dict.fromkeys(cells):
+            key, payload = self._lookup(protocol, workload_name)
+            if payload is not None:
+                results[(protocol, workload_name)] = SystemStats.from_dict(payload)
+            else:
+                pending.append((protocol, workload_name, key))
+
+        if not pending:
+            return results
+
+        if self.jobs == 1 or len(pending) == 1:
+            for protocol, workload_name, key in pending:
+                payload = simulate_cell(self.system_config, protocol,
+                                        workload_name, self.scale,
+                                        self.max_cycles)
+                self.simulations_run += 1
+                self._store(key, payload)
+                results[(protocol, workload_name)] = SystemStats.from_dict(payload)
+            return results
+
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(simulate_cell, self.system_config, protocol,
+                            workload_name, self.scale, self.max_cycles):
+                (protocol, workload_name, key)
+                for protocol, workload_name, key in pending
+            }
+            for future in as_completed(futures):
+                protocol, workload_name, key = futures[future]
+                payload = future.result()
+                self.simulations_run += 1
+                self._store(key, payload)
+                results[(protocol, workload_name)] = SystemStats.from_dict(payload)
+        return results
+
+    def run_matrix(
+        self, protocols: Iterable[str], workloads: Iterable[str]
+    ) -> Dict[str, Dict[str, SystemStats]]:
+        """Run the full cross product and return ``{protocol: {workload: stats}}``."""
+        protocols = list(protocols)
+        workloads = list(workloads)
+        flat = self.run_cells([(p, w) for p in protocols for w in workloads])
+        matrix: Dict[str, Dict[str, SystemStats]] = {}
+        for protocol in protocols:
+            matrix[protocol] = {w: flat[(protocol, w)] for w in workloads}
+        return matrix

@@ -4,30 +4,42 @@ Exposes the most common operations without writing Python::
 
     python -m repro list                          # workloads & protocol configs
     python -m repro run fft --protocol MESI --protocol TSO-CC-4-12-3
-    python -m repro figure 3 --workloads fft,radix --scale 0.3
+    python -m repro figure 3 --workloads fft,radix --scale 0.3 --jobs 8
     python -m repro storage --cores 32,64,128
     python -m repro litmus --protocol TSO-CC-4-12-3 --iterations 10
 
 Every sub-command prints a plain-text table (the same renderers the
 benchmark harness uses) and exits non-zero if a correctness check fails
 (invalid workload results or a forbidden litmus outcome).
+
+The experiment commands (``run``, ``figure``) fan independent simulations
+out over worker processes (``--jobs``, default from ``REPRO_JOBS`` or the
+CPU count) and reuse previously simulated cells from the on-disk result
+cache in ``benchmarks/results/cache/`` unless ``--no-cache`` is given; see
+EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.experiments import ExperimentRunner
+from repro.analysis.parallel import (DEFAULT_CACHE_DIR, ResultCache,
+                                     WorkloadValidationError,
+                                     _default_results_root)
 from repro.analysis.tables import format_series_table, format_table
 from repro.consistency import canonical_tests, verify_litmus
 from repro.core.config import PAPER_TSOCC_CONFIGS
 from repro.core.storage import StorageModel
 from repro.protocols.registry import list_protocol_names
 from repro.sim.config import SystemConfig
-from repro.sim.system import build_system
-from repro.workloads.benchmarks import BENCHMARK_FAMILIES, benchmark_names, make_benchmark
+from repro.workloads.benchmarks import BENCHMARK_FAMILIES, benchmark_names
+
+#: Where ``figure --save`` writes its regenerated tables.
+DEFAULT_RESULTS_DIR = _default_results_root()
 
 
 def _split(value: Optional[str]) -> Optional[List[str]]:
@@ -47,22 +59,32 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_cache(args: argparse.Namespace) -> ResultCache:
+    return ResultCache(Path(args.cache_dir), enabled=not args.no_cache)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     protocols = args.protocol or ["MESI", "TSO-CC-4-12-3"]
-    config = SystemConfig().scaled(num_cores=args.cores)
+    runner = ExperimentRunner(
+        system_config=SystemConfig().scaled(num_cores=args.cores),
+        protocols=protocols,
+        workloads=[args.workload],
+        scale=args.scale,
+        max_cycles=args.max_cycles,
+        jobs=args.jobs,
+        cache=_make_cache(args),
+    )
+    try:
+        runner.run_all()
+    except WorkloadValidationError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
     rows = []
-    failures = 0
     for protocol in protocols:
-        workload = make_benchmark(args.workload, num_cores=args.cores, scale=args.scale)
-        system = build_system(config, protocol)
-        result = system.run(workload.programs, params=workload.params,
-                            max_cycles=args.max_cycles, workload_name=args.workload)
-        valid = workload.validate(result)
-        failures += 0 if valid else 1
-        summary = result.stats.summary()
+        summary = runner.results[protocol][args.workload].summary()
         rows.append({
             "protocol": protocol,
-            "valid": valid,
+            "valid": True,
             "cycles": int(summary["cycles"]),
             "flits": int(summary["flits"]),
             "l1_miss_rate": summary["l1_miss_rate"],
@@ -70,7 +92,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "avg_rmw_latency": summary["avg_rmw_latency"],
         })
     print(format_table(rows, title=f"{args.workload} ({args.cores} cores, scale {args.scale})"))
-    return 1 if failures else 0
+    return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -79,6 +101,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         protocols=_split(args.protocols),
         workloads=_split(args.workloads),
         scale=args.scale,
+        jobs=args.jobs,
+        cache=_make_cache(args),
     )
     methods = {
         "2": runner.figure2_storage,
@@ -94,11 +118,22 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(f"unknown figure {args.number!r}; choose one of {', '.join(methods)}",
               file=sys.stderr)
         return 2
-    figure = methods[args.number]()
+    try:
+        figure = methods[args.number]()
+    except WorkloadValidationError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
     label = "cores" if args.number == "2" else "workload"
-    print(format_series_table(figure.series, row_order=figure.row_order,
-                              title=f"{figure.figure} — {figure.description}",
-                              row_label=label))
+    table = format_series_table(figure.series, row_order=figure.row_order,
+                                title=f"{figure.figure} — {figure.description}",
+                                row_label=label)
+    print(table)
+    if args.save:
+        results_dir = Path(args.results_dir)
+        results_dir.mkdir(parents=True, exist_ok=True)
+        out = results_dir / f"figure{args.number}.txt"
+        out.write_text(table + "\n", encoding="utf-8")
+        print(f"saved {out}")
     return 0
 
 
@@ -139,6 +174,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_executor_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--jobs", type=int, default=None,
+                             help="worker processes (default: REPRO_JOBS or CPU count)")
+        command.add_argument("--no-cache", action="store_true",
+                             help="ignore and do not update the on-disk result cache")
+        command.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                             help="result cache directory (default: benchmarks/results/cache)")
+
     sub.add_parser("list", help="list protocol configurations and workloads")
 
     run = sub.add_parser("run", help="run one benchmark under one or more protocols")
@@ -148,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cores", type=int, default=8)
     run.add_argument("--scale", type=float, default=0.35)
     run.add_argument("--max-cycles", type=int, default=200_000_000)
+    add_executor_flags(run)
 
     figure = sub.add_parser("figure", help="regenerate one figure of the paper")
     figure.add_argument("number", help="figure number (2-9)")
@@ -155,6 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--protocols", help="comma-separated protocol subset")
     figure.add_argument("--cores", type=int, default=8)
     figure.add_argument("--scale", type=float, default=0.35)
+    figure.add_argument("--save", action="store_true",
+                        help="also write the table to the results directory")
+    figure.add_argument("--results-dir", default=str(DEFAULT_RESULTS_DIR),
+                        help="directory for --save (default: benchmarks/results)")
+    add_executor_flags(figure)
 
     storage = sub.add_parser("storage", help="print the Figure 2 storage model")
     storage.add_argument("--cores", help="comma-separated core counts")

@@ -95,6 +95,38 @@ class NetworkStats:
             summary[f"flits_{cls.value}"] = count
         return summary
 
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-serializable representation (enum keys by name).
+
+        The inverse of :meth:`from_dict`; used to ship statistics across
+        process boundaries and to persist them in the on-disk result cache.
+        """
+        return {
+            "messages": self.messages,
+            "flits": self.flits,
+            "hops_weighted_flits": self.hops_weighted_flits,
+            "by_class": {cls.name: count for cls, count in self.by_class.items()},
+            "flits_by_class": {cls.name: count
+                               for cls, count in self.flits_by_class.items()},
+            "by_type": {mtype.name: count for mtype, count in self.by_type.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "NetworkStats":
+        """Rebuild a :class:`NetworkStats` from :meth:`to_dict` output."""
+        stats = cls(
+            messages=int(data["messages"]),
+            flits=int(data["flits"]),
+            hops_weighted_flits=int(data["hops_weighted_flits"]),
+        )
+        for name, count in data.get("by_class", {}).items():
+            stats.by_class[MessageClass[name]] = int(count)
+        for name, count in data.get("flits_by_class", {}).items():
+            stats.flits_by_class[MessageClass[name]] = int(count)
+        for name, count in data.get("by_type", {}).items():
+            stats.by_type[MessageType[name]] = int(count)
+        return stats
+
 
 class Network:
     """Mesh network connecting L1 controllers and L2 tiles.

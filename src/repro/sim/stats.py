@@ -33,9 +33,26 @@ STATE_CATEGORIES = ("invalid", "shared", "shared_ro", "private")
 #: Self-invalidation causes (Figure 7 / Figure 9 legend).
 SELF_INVAL_CAUSES = ("invalid_ts", "acquire", "acquire_sro", "fence")
 
+#: Version of the serialized-statistics schema produced by
+#: :meth:`SystemStats.to_dict`.  Bump whenever a counter is added, removed or
+#: its meaning changes — the on-disk result cache keys on it, so a bump
+#: invalidates every cached simulation result.
+STATS_SCHEMA_VERSION = 1
+
 
 def _counter() -> Dict[str, int]:
     return defaultdict(int)
+
+
+def _counter_from(data: Dict[str, int]) -> Dict[str, int]:
+    counter = _counter()
+    for key, value in data.items():
+        counter[key] = int(value)
+    return counter
+
+
+def _scalar_dict(obj, fields) -> Dict[str, int]:
+    return {name: getattr(obj, name) for name in fields}
 
 
 @dataclass
@@ -149,6 +166,32 @@ class L1Stats:
             for cause in SELF_INVAL_CAUSES
         }
 
+    #: Counter-valued fields (serialized as plain dicts).
+    COUNTER_FIELDS = ("read_hits", "write_hits", "read_misses", "write_misses",
+                      "evictions", "self_inval_events",
+                      "self_inval_triggering_responses")
+
+    #: Scalar integer fields.
+    SCALAR_FIELDS = ("data_responses", "lines_self_invalidated", "loads",
+                     "load_latency_total", "stores", "store_latency_total",
+                     "rmws", "rmw_latency_total", "fences",
+                     "invalidations_received", "ts_resets")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-serializable representation (see :meth:`from_dict`)."""
+        payload: Dict[str, object] = {name: dict(getattr(self, name))
+                                      for name in self.COUNTER_FIELDS}
+        payload.update(_scalar_dict(self, self.SCALAR_FIELDS))
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "L1Stats":
+        """Rebuild an :class:`L1Stats` from :meth:`to_dict` output."""
+        kwargs = {name: _counter_from(data.get(name, {}))
+                  for name in cls.COUNTER_FIELDS}
+        kwargs.update({name: int(data.get(name, 0)) for name in cls.SCALAR_FIELDS})
+        return cls(**kwargs)
+
     def merge(self, other: "L1Stats") -> None:
         """Accumulate ``other`` into this object (used for aggregation)."""
         for attr in ("read_hits", "write_hits", "read_misses", "write_misses",
@@ -185,6 +228,26 @@ class L2Stats:
     ts_resets: int = 0
     forwarded_requests: int = 0
 
+    COUNTER_FIELDS = ("requests", "evictions")
+    SCALAR_FIELDS = ("memory_reads", "memory_writes", "sro_transitions",
+                     "shared_decays", "sro_invalidation_broadcasts", "recalls",
+                     "ts_resets", "forwarded_requests")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-serializable representation (see :meth:`from_dict`)."""
+        payload: Dict[str, object] = {name: dict(getattr(self, name))
+                                      for name in self.COUNTER_FIELDS}
+        payload.update(_scalar_dict(self, self.SCALAR_FIELDS))
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "L2Stats":
+        """Rebuild an :class:`L2Stats` from :meth:`to_dict` output."""
+        kwargs = {name: _counter_from(data.get(name, {}))
+                  for name in cls.COUNTER_FIELDS}
+        kwargs.update({name: int(data.get(name, 0)) for name in cls.SCALAR_FIELDS})
+        return cls(**kwargs)
+
     def merge(self, other: "L2Stats") -> None:
         """Accumulate ``other`` into this object."""
         for key, value in other.requests.items():
@@ -215,6 +278,18 @@ class CoreStats:
     finish_time: int = 0
     ts_resets: int = 0
 
+    SCALAR_FIELDS = ("memory_ops", "loads", "stores", "rmws", "fences",
+                     "work_cycles", "wb_full_stalls", "finish_time", "ts_resets")
+
+    def to_dict(self) -> Dict[str, int]:
+        """Return a JSON-serializable representation (see :meth:`from_dict`)."""
+        return _scalar_dict(self, self.SCALAR_FIELDS)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "CoreStats":
+        """Rebuild a :class:`CoreStats` from :meth:`to_dict` output."""
+        return cls(**{name: int(data.get(name, 0)) for name in cls.SCALAR_FIELDS})
+
     def merge(self, other: "CoreStats") -> None:
         """Accumulate ``other`` into this object (finish_time takes the max)."""
         self.memory_ops += other.memory_ops
@@ -240,6 +315,54 @@ class SystemStats:
     l2: List[L2Stats] = field(default_factory=list)
     cores: List[CoreStats] = field(default_factory=list)
     network: NetworkStats = field(default_factory=NetworkStats)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-serializable representation of the full statistics.
+
+        This is the worker-boundary contract of the parallel experiment
+        runner: every counter survives a ``to_dict``/``from_dict`` round trip
+        exactly (``from_dict(s.to_dict()) == s``), and the payload is plain
+        JSON so it can be persisted in the on-disk result cache.
+        """
+        return {
+            "schema": STATS_SCHEMA_VERSION,
+            "protocol": self.protocol,
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "events": self.events,
+            "l1": [stats.to_dict() for stats in self.l1],
+            "l2": [stats.to_dict() for stats in self.l2],
+            "cores": [stats.to_dict() for stats in self.cores],
+            "network": self.network.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SystemStats":
+        """Rebuild a :class:`SystemStats` from :meth:`to_dict` output.
+
+        Raises:
+            ValueError: if the payload was produced by a different
+                :data:`STATS_SCHEMA_VERSION` (stale cache entry).
+        """
+        schema = data.get("schema")
+        if schema != STATS_SCHEMA_VERSION:
+            raise ValueError(
+                f"stats payload has schema {schema!r}, expected "
+                f"{STATS_SCHEMA_VERSION!r}"
+            )
+        return cls(
+            protocol=str(data.get("protocol", "")),
+            workload=str(data.get("workload", "")),
+            cycles=int(data.get("cycles", 0)),
+            events=int(data.get("events", 0)),
+            l1=[L1Stats.from_dict(item) for item in data.get("l1", [])],
+            l2=[L2Stats.from_dict(item) for item in data.get("l2", [])],
+            cores=[CoreStats.from_dict(item) for item in data.get("cores", [])],
+            network=NetworkStats.from_dict(data["network"]) if "network" in data
+            else NetworkStats(),
+        )
 
     # -- aggregation -------------------------------------------------------
 

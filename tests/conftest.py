@@ -1,49 +1,25 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+Importable constants and helpers (``ALL_PROTOCOLS``, ``run_workload`` ...)
+live in :mod:`_helpers`; only pytest fixtures belong here.
+"""
 
 from __future__ import annotations
 
 import pytest
 
+from _helpers import make_small_config, make_tiny_config
 from repro.sim.config import SystemConfig
-from repro.sim.system import build_system
-
-#: Every protocol configuration evaluated in the paper.
-ALL_PROTOCOLS = (
-    "MESI",
-    "CC-shared-to-L2",
-    "TSO-CC-4-basic",
-    "TSO-CC-4-noreset",
-    "TSO-CC-4-12-3",
-    "TSO-CC-4-12-0",
-    "TSO-CC-4-9-3",
-)
-
-#: A fast representative subset used by the heavier integration tests.
-FAST_PROTOCOLS = ("MESI", "CC-shared-to-L2", "TSO-CC-4-basic", "TSO-CC-4-12-3")
 
 
 @pytest.fixture
 def small_config() -> SystemConfig:
     """A small 4-core platform with deliberately tiny caches so that
     evictions, recalls and conflict behaviour are exercised by short runs."""
-    return SystemConfig().scaled(num_cores=4, l1_size_bytes=2048,
-                                 l2_tile_size_bytes=16 * 1024)
+    return make_small_config()
 
 
 @pytest.fixture
 def tiny_config() -> SystemConfig:
     """A 2-core platform for focused protocol-interaction tests."""
-    return SystemConfig().scaled(num_cores=2, l1_size_bytes=1024,
-                                 l2_tile_size_bytes=8 * 1024)
-
-
-def run_workload(workload, protocol, config, max_cycles=50_000_000):
-    """Build a system, run ``workload`` under ``protocol`` and return the
-    SimulationResult after asserting functional validity."""
-    system = build_system(config, protocol)
-    result = system.run(workload.programs, params=workload.params,
-                        max_cycles=max_cycles, workload_name=workload.name)
-    assert workload.validate(result), (
-        f"workload {workload.name} invalid under {protocol}"
-    )
-    return result
+    return make_tiny_config()

@@ -21,7 +21,7 @@ from repro.workloads.layout import AddressSpace
 from repro.workloads.sync import barrier_wait
 from repro.workloads.trace import Workload
 
-from conftest import ALL_PROTOCOLS, run_workload
+from _helpers import ALL_PROTOCOLS, run_workload
 
 
 def _build_random_drf_workload(seed: int, num_cores: int = 4):

@@ -16,7 +16,7 @@ from repro.workloads.layout import AddressSpace
 from repro.workloads.sync import barrier_wait, spin_until_equals
 from repro.workloads.trace import Workload
 
-from conftest import run_workload
+from _helpers import run_workload
 
 
 def _config(num_cores=4, l1=1024, l2=8 * 1024):

@@ -27,7 +27,7 @@ from repro.workloads.synthetic import (
 from repro.workloads.sync import spin_until_equals
 from repro.workloads.trace import Workload
 
-from conftest import ALL_PROTOCOLS, FAST_PROTOCOLS, run_workload
+from _helpers import ALL_PROTOCOLS, FAST_PROTOCOLS, run_workload
 
 
 # ------------------------------------------------------------------ every protocol, every synthetic workload

@@ -1,0 +1,110 @@
+"""Pin the worker-boundary contract: ``SystemStats`` (and every nested stats
+container) must round-trip exactly through ``to_dict``/``from_dict`` and the
+payload must be plain JSON — that is what crosses process boundaries in the
+parallel runner and what the on-disk result cache persists."""
+
+import json
+
+import pytest
+
+from _helpers import make_tiny_config
+from repro.analysis.parallel import simulate_cell
+from repro.interconnect.message import MessageClass, MessageType
+from repro.interconnect.network import NetworkStats
+from repro.sim.stats import (STATS_SCHEMA_VERSION, CoreStats, L1Stats,
+                             L2Stats, SystemStats)
+
+
+def make_populated_stats() -> SystemStats:
+    """A SystemStats with every counter and breakdown field non-default."""
+    l1 = L1Stats()
+    l1.record_hit("read", "shared")
+    l1.record_hit("read", "shared_ro")
+    l1.record_hit("write", "private")
+    l1.record_miss("read", "invalid")
+    l1.record_miss("write", "shared")
+    l1.evictions["private"] += 3
+    l1.data_responses = 7
+    l1.record_self_invalidation("acquire", lines=4, from_response=True)
+    l1.record_self_invalidation("fence", lines=2, from_response=False)
+    l1.loads, l1.load_latency_total = 5, 40
+    l1.stores, l1.store_latency_total = 4, 36
+    l1.rmws, l1.rmw_latency_total = 2, 50
+    l1.fences = 1
+    l1.invalidations_received = 6
+    l1.ts_resets = 1
+
+    l2 = L2Stats()
+    l2.requests["GetS"] += 9
+    l2.evictions["shared"] += 2
+    l2.memory_reads, l2.memory_writes = 11, 5
+    l2.sro_transitions, l2.shared_decays = 3, 2
+    l2.sro_invalidation_broadcasts, l2.recalls = 1, 4
+    l2.ts_resets, l2.forwarded_requests = 1, 8
+
+    core = CoreStats(memory_ops=20, loads=12, stores=6, rmws=2, fences=1,
+                     work_cycles=100, wb_full_stalls=3, finish_time=420,
+                     ts_resets=1)
+
+    network = NetworkStats()
+    network.messages, network.flits, network.hops_weighted_flits = 30, 90, 250
+    network.by_class[MessageClass.REQUEST] = 12
+    network.by_class[MessageClass.RESPONSE] = 18
+    network.flits_by_class[MessageClass.RESPONSE] = 72
+    network.by_type[MessageType.GETS] = 12
+
+    return SystemStats(protocol="TSO-CC-4-12-3", workload="synthetic",
+                       cycles=420, events=999, l1=[l1, L1Stats()],
+                       l2=[l2], cores=[core], network=network)
+
+
+def test_roundtrip_equality_synthetic():
+    stats = make_populated_stats()
+    rebuilt = SystemStats.from_dict(stats.to_dict())
+    assert rebuilt == stats
+    # A second serialization is byte-identical (canonical form).
+    assert json.dumps(rebuilt.to_dict(), sort_keys=True) == \
+        json.dumps(stats.to_dict(), sort_keys=True)
+
+
+def test_payload_is_json_serializable():
+    payload = make_populated_stats().to_dict()
+    decoded = json.loads(json.dumps(payload))
+    assert SystemStats.from_dict(decoded) == SystemStats.from_dict(payload)
+
+
+def test_roundtrip_preserves_derived_quantities():
+    stats = make_populated_stats()
+    rebuilt = SystemStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+    assert rebuilt.summary() == stats.summary()
+    assert rebuilt.miss_breakdown() == stats.miss_breakdown()
+    assert rebuilt.hit_breakdown() == stats.hit_breakdown()
+    assert rebuilt.self_invalidation_trigger_fraction() == \
+        stats.self_invalidation_trigger_fraction()
+    assert rebuilt.self_invalidation_cause_breakdown() == \
+        stats.self_invalidation_cause_breakdown()
+
+
+def test_roundtrip_from_real_simulation():
+    payload = simulate_cell(make_tiny_config(), "TSO-CC-4-12-3", "fft",
+                            scale=0.2, max_cycles=50_000_000)
+    assert payload["schema"] == STATS_SCHEMA_VERSION
+    json.dumps(payload)                      # JSON-serializable as-is
+    stats = SystemStats.from_dict(payload)
+    assert stats.to_dict() == payload        # exact round trip
+    assert stats.cycles > 0 and stats.total_flits > 0
+
+
+def test_from_dict_rejects_schema_mismatch():
+    payload = make_populated_stats().to_dict()
+    payload["schema"] = STATS_SCHEMA_VERSION + 1
+    with pytest.raises(ValueError):
+        SystemStats.from_dict(payload)
+
+
+def test_counters_stay_defaultdicts_after_rebuild():
+    rebuilt = SystemStats.from_dict(make_populated_stats().to_dict())
+    # Aggregation mutates counters via +=; rebuilt objects must support it.
+    agg = rebuilt.aggregate_l1()
+    agg.read_hits["never_seen_category"] += 1
+    rebuilt.network.by_class[MessageClass.WRITEBACK] += 1

@@ -18,7 +18,7 @@ from repro.workloads.stm import NOrecSTM
 from repro.workloads.sync import barrier_wait, lock_acquire, lock_release
 from repro.workloads.trace import TraceOp, Workload, trace_program
 
-from conftest import run_workload
+from _helpers import run_workload
 
 
 # ------------------------------------------------------------------ layout
