@@ -7,7 +7,7 @@ the SharedRO hit fraction responds.
 
 from dataclasses import replace
 
-from repro.core.config import TSO_CC_4_12_3
+from repro.protocols.tsocc.config import TSO_CC_4_12_3
 from repro.sim.config import SystemConfig
 from repro.sim.system import build_system
 from repro.workloads.benchmarks import make_benchmark

@@ -8,7 +8,7 @@ and 9 attribute the differences between those configurations to.
 
 from dataclasses import replace
 
-from repro.core.config import TSO_CC_4_12_3
+from repro.protocols.tsocc.config import TSO_CC_4_12_3
 from repro.sim.config import SystemConfig
 from repro.sim.system import build_system
 from repro.workloads.benchmarks import make_benchmark

@@ -7,8 +7,8 @@ logarithmically, so the storage gap widens from ~40% at 32 cores to >80% at
 """
 
 from repro.analysis.tables import format_series_table
-from repro.core.config import TSO_CC_4_12_3
-from repro.core.storage import StorageModel
+from repro.protocols.tsocc.config import TSO_CC_4_12_3
+from repro.protocols.storage import StorageModel
 from repro.sim.config import SystemConfig
 
 from bench_utils import write_result

@@ -5,8 +5,8 @@ Regenerates the Table 1 inventory for the paper's 32-core platform and the
 """
 
 from repro.analysis.tables import format_table
-from repro.core.config import PAPER_TSOCC_CONFIGS
-from repro.core.storage import StorageModel
+from repro.protocols.tsocc.config import PAPER_TSOCC_CONFIGS
+from repro.protocols.storage import StorageModel
 from repro.sim.config import SystemConfig
 
 from bench_utils import write_result

@@ -23,8 +23,8 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.analysis import ExperimentRunner, format_series_table
-from repro.core.config import CC_SHARED_TO_L2, TSO_CC_4_12_3, TSO_CC_4_BASIC
-from repro.core.storage import StorageModel
+from repro.protocols.tsocc.config import CC_SHARED_TO_L2, TSO_CC_4_12_3, TSO_CC_4_BASIC
+from repro.protocols.storage import StorageModel
 from repro.sim.config import SystemConfig
 
 

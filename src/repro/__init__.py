@@ -3,11 +3,13 @@ cache coherence for TSO* (Elver & Nagarajan, HPCA 2014).
 
 The package contains:
 
-* :mod:`repro.core` — the TSO-CC protocol (basic protocol, timestamp
-  transitive reduction, SharedRO optimization, timestamp resets/epochs) and
-  the storage-overhead model of Table 1 / Figure 2;
-* :mod:`repro.protocols` — the protocol framework, the MESI directory
-  baseline and the named paper configurations;
+* :mod:`repro.protocols` — the protocol plugin framework
+  (:class:`~repro.protocols.registry.Protocol`, ``@register_protocol``,
+  :func:`~repro.protocols.registry.get_protocol`) and the bundled
+  protocols: the TSO-CC family (:mod:`repro.protocols.tsocc` — basic
+  protocol, timestamp transitive reduction, SharedRO optimization,
+  timestamp resets/epochs, plus the storage model of Table 1 / Figure 2),
+  the MESI directory baseline and an MSI demonstrator;
 * :mod:`repro.memsys`, :mod:`repro.interconnect`, :mod:`repro.cpu`,
   :mod:`repro.sim` — the simulated CMP substrate (caches, write buffers,
   mesh network, TSO cores, event-driven engine, system builder);
@@ -29,7 +31,18 @@ Quick start::
     print(result.stats.summary())
 """
 
-from repro.core.config import (
+from repro.protocols.registry import (
+    PAPER_CONFIGURATIONS,
+    Protocol,
+    ProtocolSpec,
+    get_protocol,
+    get_protocol_spec,
+    list_protocol_names,
+    register_configuration,
+    register_protocol,
+)
+from repro.protocols.storage import StorageModel
+from repro.protocols.tsocc.config import (
     CC_SHARED_TO_L2,
     TSO_CC_4_12_0,
     TSO_CC_4_12_3,
@@ -38,17 +51,10 @@ from repro.core.config import (
     TSO_CC_4_NORESET,
     TSOCCConfig,
 )
-from repro.core.storage import StorageModel
-from repro.protocols.registry import (
-    PAPER_CONFIGURATIONS,
-    ProtocolSpec,
-    get_protocol_spec,
-    list_protocol_names,
-)
 from repro.sim.config import SystemConfig
 from repro.sim.system import SimulationResult, System, build_system
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "TSOCCConfig",
@@ -63,9 +69,13 @@ __all__ = [
     "System",
     "SimulationResult",
     "build_system",
+    "Protocol",
     "ProtocolSpec",
     "PAPER_CONFIGURATIONS",
+    "get_protocol",
     "get_protocol_spec",
     "list_protocol_names",
+    "register_protocol",
+    "register_configuration",
     "__version__",
 ]

@@ -34,9 +34,9 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis.metrics import add_summary_row, gmean, normalize_to_baseline
 from repro.analysis.parallel import MatrixExecutor, ResultCache
-from repro.core.config import PAPER_TSOCC_CONFIGS
-from repro.core.storage import StorageModel
-from repro.protocols.registry import PAPER_CONFIGURATIONS, get_protocol_spec
+from repro.protocols.registry import PAPER_CONFIGURATIONS, get_protocol
+from repro.protocols.storage import StorageModel
+from repro.protocols.tsocc.config import PAPER_TSOCC_CONFIGS
 from repro.sim.config import SystemConfig
 from repro.sim.stats import SystemStats
 from repro.workloads.benchmarks import benchmark_names
@@ -195,7 +195,7 @@ class ExperimentRunner:
         self.run_all()
         series: Dict[str, Dict[str, float]] = {}
         for protocol in self.protocols:
-            if get_protocol_spec(protocol).is_baseline:
+            if not get_protocol(protocol).self_invalidates:
                 continue
             for workload_name in self.workloads:
                 stats = self.run_one(workload_name, protocol)
@@ -219,7 +219,7 @@ class ExperimentRunner:
         self.run_all()
         series: Dict[str, Dict[str, float]] = {}
         for protocol in self.protocols:
-            if get_protocol_spec(protocol).is_baseline:
+            if not get_protocol(protocol).self_invalidates:
                 continue
             for workload_name in self.workloads:
                 stats = self.run_one(workload_name, protocol)

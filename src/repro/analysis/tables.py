@@ -1,4 +1,5 @@
-"""Plain-text table rendering for the benchmark harness and examples."""
+"""Plain-text table rendering for the benchmark harness and examples, plus
+row builders over the protocol plugin API (``repro protocols``)."""
 
 from __future__ import annotations
 
@@ -64,3 +65,28 @@ def format_series_table(
         table_rows.append(entry)
     return format_table(table_rows, columns=[row_label] + configs,
                         float_format=float_format, title=title)
+
+
+def protocol_rows(protocols=None, system_config=None) -> List[Dict[str, object]]:
+    """One row per registered protocol plugin: name, family kind, metadata
+    flags, config summary and storage overhead on ``system_config`` (the
+    full Table 2 platform by default).  Consumed by ``repro protocols``."""
+    from repro.protocols.registry import registered_protocols
+    from repro.sim.config import SystemConfig
+
+    if protocols is None:
+        protocols = registered_protocols()
+    if system_config is None:
+        system_config = SystemConfig()
+    rows: List[Dict[str, object]] = []
+    for protocol in protocols:
+        rows.append({
+            "protocol": protocol.name,
+            "kind": protocol.kind,
+            "paper": "yes" if protocol.in_paper else "no",
+            "baseline": "yes" if protocol.is_baseline else "no",
+            "self_inval": "yes" if protocol.self_invalidates else "no",
+            "storage_bits": protocol.overhead_bits(system_config),
+            "config": protocol.config_summary(),
+        })
+    return rows

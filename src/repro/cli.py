@@ -3,6 +3,7 @@
 Exposes the most common operations without writing Python::
 
     python -m repro list                          # workloads & protocol configs
+    python -m repro protocols                     # registered protocol plugins
     python -m repro run fft --protocol MESI --protocol TSO-CC-4-12-3
     python -m repro figure 3 --workloads fft,radix --scale 0.3 --jobs 8
     python -m repro storage --cores 32,64,128
@@ -30,11 +31,11 @@ from repro.analysis.experiments import ExperimentRunner
 from repro.analysis.parallel import (DEFAULT_CACHE_DIR, ResultCache,
                                      WorkloadValidationError,
                                      _default_results_root)
-from repro.analysis.tables import format_series_table, format_table
+from repro.analysis.tables import format_series_table, format_table, protocol_rows
 from repro.consistency import canonical_tests, verify_litmus
-from repro.core.config import PAPER_TSOCC_CONFIGS
-from repro.core.storage import StorageModel
 from repro.protocols.registry import list_protocol_names
+from repro.protocols.storage import StorageModel
+from repro.protocols.tsocc.config import PAPER_TSOCC_CONFIGS
 from repro.sim.config import SystemConfig
 from repro.workloads.benchmarks import BENCHMARK_FAMILIES, benchmark_names
 
@@ -56,6 +57,16 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     rows = [{"benchmark": name, "suite": suite}
             for name, suite in BENCHMARK_FAMILIES.items()]
     print(format_table(rows))
+    return 0
+
+
+def _cmd_protocols(args: argparse.Namespace) -> int:
+    config = SystemConfig().with_cores(args.cores)
+    rows = protocol_rows(system_config=config)
+    print(format_table(
+        rows,
+        title=f"Registered protocol plugins (storage at {args.cores} cores)",
+    ))
     return 0
 
 
@@ -184,6 +195,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list protocol configurations and workloads")
 
+    protocols = sub.add_parser(
+        "protocols",
+        help="list registered protocol plugins with metadata and storage bits")
+    protocols.add_argument("--cores", type=int, default=32,
+                           help="core count for the storage-overhead column")
+
     run = sub.add_parser("run", help="run one benchmark under one or more protocols")
     run.add_argument("workload", choices=benchmark_names())
     run.add_argument("--protocol", action="append",
@@ -222,6 +239,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "list": _cmd_list,
+        "protocols": _cmd_protocols,
         "run": _cmd_run,
         "figure": _cmd_figure,
         "storage": _cmd_storage,

@@ -1,27 +1,20 @@
-"""TSO-CC: the paper's primary contribution.
+"""Deprecated location of the TSO-CC implementation.
 
-This package implements the lazy, consistency-directed coherence protocol for
-TSO described in §3 of the paper, including every optimization evaluated:
-
-* the **basic protocol** (§3.2): untracked Shared lines, bounded Shared read
-  hits via a per-line access counter, write propagation through the shared
-  L2 in program order, and self-invalidation of Shared lines on L2 data
-  responses from other writers;
-* **transitive reduction with timestamps** (§3.3, opt. 1): per-core write
-  timestamps, write-grouping, and last-seen timestamp tables used to skip
-  provably unnecessary self-invalidations;
-* **shared read-only lines** (§3.4, opt. 2): the SharedRO state, decay of
-  Shared lines, L2-sourced timestamps for SharedRO data, and eager
-  (broadcast) invalidation on the rare writes to SharedRO lines;
-* **finite timestamps** (§3.5): timestamp resets, epoch-ids, reset
-  broadcasts, and the L2-side clamping of stale timestamps;
-* **atomics and fences** (§3.6).
-
-The storage-overhead model of Table 1 / Figure 2 lives in
-:mod:`repro.core.storage`.
+The TSO-CC protocol moved to :mod:`repro.protocols.tsocc` when protocols
+became plugins (PR 2); this package re-exports the old names so existing
+imports keep working.  New code should import from
+``repro.protocols.tsocc`` (protocol) and ``repro.protocols.storage``
+(storage model).
 """
 
-from repro.core.config import (
+import warnings
+
+from repro.protocols.storage import (
+    StorageModel,
+    mesi_overhead_bits,
+    tsocc_overhead_bits,
+)
+from repro.protocols.tsocc import (
     CC_SHARED_TO_L2,
     TSO_CC_4_12_0,
     TSO_CC_4_12_3,
@@ -29,12 +22,19 @@ from repro.core.config import (
     TSO_CC_4_BASIC,
     TSO_CC_4_NORESET,
     TSOCCConfig,
+    TSOCCL1Controller,
+    TSOCCL1State,
+    TSOCCL2Controller,
+    TSOCCL2State,
 )
-from repro.core.l1_controller import TSOCCL1Controller
-from repro.core.l2_controller import TSOCCL2Controller
-from repro.core.states import TSOCCL1State, TSOCCL2State
-from repro.core.storage import StorageModel, mesi_overhead_bits, tsocc_overhead_bits
-from repro.core.timestamps import EpochTable, TimestampSource, TimestampTable
+from repro.protocols.tsocc.timestamps import EpochTable, TimestampSource, TimestampTable
+
+warnings.warn(
+    "repro.core is deprecated; import from repro.protocols.tsocc "
+    "(protocol) and repro.protocols.storage (storage model) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = [
     "TSOCCConfig",

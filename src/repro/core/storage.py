@@ -1,183 +1,13 @@
-"""Coherence storage-overhead model (Table 1 and Figure 2 of the paper).
+"""Deprecated shim: the storage model moved to
+:mod:`repro.protocols.storage` (cross-protocol calculator over the plugin
+API) and :mod:`repro.protocols.tsocc.storage` (the Table 1 inventory);
+overhead formulas are methods on the protocol plugins (PR 2)."""
 
-The model computes, for a given platform (core count, cache geometry) and
-protocol configuration, the extra on-chip storage required *for coherence*:
-
-* **MESI**: the directory embedded in the (inclusive) L2 needs a full sharing
-  vector of one bit per core for every L2 line, plus an owner pointer.
-* **TSO-CC**: per Table 1 of the paper — per-L1-line access counter and
-  timestamp, per-L2-line timestamp and owner/last-writer/sharer-count field
-  (``log2(cores)`` bits), plus small per-node structures (timestamp sources,
-  last-seen timestamp tables, epoch-id tables, write-group counters).
-
-The headline result reproduced by Figure 2 is that MESI's overhead grows
-linearly with the core count (the sharing vector) while TSO-CC's per-line
-overhead grows only logarithmically (the owner pointer), so the gap widens
-from tens of percent at 32 cores to >80% at 128 cores.
-"""
-
-from __future__ import annotations
-
-import math
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
-
-from repro.core.config import TSOCCConfig
-from repro.sim.config import SystemConfig
-
-
-def _log2_ceil(value: int) -> int:
-    """Number of bits needed to encode ``value`` distinct identifiers."""
-    return max(1, math.ceil(math.log2(max(2, value))))
-
-
-def mesi_overhead_bits(system: SystemConfig) -> int:
-    """Total coherence storage (bits) of the MESI directory baseline.
-
-    Per L2 line: a full sharing vector (one bit per core) plus an owner
-    pointer of ``log2(cores)`` bits and 2 bits of directory state.  Per L1
-    line: 2 bits of MESI state (common to all protocols but included so the
-    comparison against TSO-CC's per-L1-line overhead is apples-to-apples).
-    """
-    cores = system.num_cores
-    owner_bits = _log2_ceil(cores)
-    per_l2_line = cores + owner_bits + 2
-    per_l1_line = 2
-    total = system.total_l2_lines * per_l2_line
-    total += cores * system.l1_lines * per_l1_line
-    return total
-
-
-def tsocc_overhead_bits(system: SystemConfig, config: TSOCCConfig) -> int:
-    """Total coherence storage (bits) of a TSO-CC configuration.
-
-    Implements the inventory of Table 1 of the paper:
-
-    L1, per node: current timestamp, write-group counter, current epoch-id,
-    timestamp table ``ts_L1`` (up to one entry per core), epoch-ids for every
-    core, and — with the SharedRO optimization — timestamp table ``ts_L2``
-    and epoch-ids for every L2 tile.
-
-    L1, per line: access counter ``b.acnt`` and timestamp ``b.ts``.
-
-    L2, per tile: last-seen timestamp table and epoch-ids for every core,
-    plus (SharedRO) current timestamp, epoch-id and increment flags.
-
-    L2, per line: timestamp ``b.ts`` and the ``b.owner`` field
-    (``log2(cores)`` bits), plus 2 bits of state.
-    """
-    cores = system.num_cores
-    tiles = system.effective_l2_tiles
-    ts_bits = config.ts_bits if (config.use_timestamps and config.ts_bits is not None) else 0
-    if config.use_timestamps and config.ts_bits is None:
-        # The "noreset" idealisation: account a 31-bit timestamp as the
-        # simulator does (footnote 3 of the paper).
-        ts_bits = 31
-    acc_bits = config.max_acc_bits
-    epoch_bits = config.epoch_bits if config.use_timestamps else 0
-    group_bits = config.write_group_bits if config.use_timestamps else 0
-    owner_bits = _log2_ceil(cores)
-    state_bits = 2
-
-    ts_table_entries = config.ts_table_entries or cores
-
-    # -- L1 per node ---------------------------------------------------------
-    l1_per_node = 0
-    if config.use_timestamps:
-        l1_per_node += ts_bits                      # current timestamp
-        l1_per_node += group_bits                   # write-group counter
-        l1_per_node += epoch_bits                   # current epoch-id
-        l1_per_node += ts_table_entries * ts_bits   # ts_L1 table
-        l1_per_node += cores * epoch_bits           # epoch_ids_L1
-        if config.use_shared_ro and config.sro_uses_l2_timestamps:
-            l1_per_node += tiles * ts_bits          # ts_L2 table
-            l1_per_node += tiles * epoch_bits       # epoch_ids_L2
-
-    # -- L1 per line ---------------------------------------------------------
-    l1_per_line = acc_bits + (ts_bits if config.use_timestamps else 0) + state_bits
-
-    # -- L2 per tile ---------------------------------------------------------
-    l2_per_tile = 0
-    if config.use_timestamps:
-        l2_per_tile += cores * ts_bits              # last-seen ts_L1 table
-        l2_per_tile += cores * epoch_bits           # epoch_ids_L1
-        if config.use_shared_ro and config.sro_uses_l2_timestamps:
-            l2_per_tile += ts_bits + epoch_bits + 2  # tile ts, epoch, flags
-
-    # -- L2 per line ---------------------------------------------------------
-    l2_per_line = owner_bits + state_bits + (ts_bits if config.use_timestamps else 0)
-
-    total = cores * l1_per_node
-    total += cores * system.l1_lines * l1_per_line
-    total += tiles * l2_per_tile
-    total += system.total_l2_lines * l2_per_line
-    return total
-
-
-@dataclass
-class StorageModel:
-    """Storage-overhead calculator for a family of protocol configurations.
-
-    Args:
-        system: platform parameters (core count is overridden per query).
-    """
-
-    system: SystemConfig
-
-    def _system_for(self, num_cores: int) -> SystemConfig:
-        return self.system.with_cores(num_cores)
-
-    def mesi_bits(self, num_cores: int) -> int:
-        """MESI coherence storage in bits at ``num_cores`` cores."""
-        return mesi_overhead_bits(self._system_for(num_cores))
-
-    def tsocc_bits(self, num_cores: int, config: TSOCCConfig) -> int:
-        """TSO-CC coherence storage in bits at ``num_cores`` cores."""
-        return tsocc_overhead_bits(self._system_for(num_cores), config)
-
-    def overhead_mbytes(self, num_cores: int, config: Optional[TSOCCConfig]) -> float:
-        """Coherence storage in megabytes (``None`` selects MESI)."""
-        bits = self.mesi_bits(num_cores) if config is None else self.tsocc_bits(num_cores, config)
-        return bits / 8 / (1024 * 1024)
-
-    def reduction_vs_mesi(self, num_cores: int, config: TSOCCConfig) -> float:
-        """Fractional storage reduction of ``config`` relative to MESI."""
-        mesi = self.mesi_bits(num_cores)
-        tsocc = self.tsocc_bits(num_cores, config)
-        return 1.0 - (tsocc / mesi) if mesi else 0.0
-
-    def figure2_series(
-        self,
-        configs: Iterable[TSOCCConfig],
-        core_counts: Iterable[int] = (2, 4, 8, 16, 32, 48, 64, 80, 96, 112, 128),
-    ) -> Dict[str, List[float]]:
-        """Return the Figure 2 data: overhead in MB per core count, for MESI
-        and every configuration in ``configs``."""
-        counts = list(core_counts)
-        series: Dict[str, List[float]] = {"cores": [float(c) for c in counts]}
-        series["MESI"] = [self.overhead_mbytes(c, None) for c in counts]
-        for config in configs:
-            series[config.name] = [self.overhead_mbytes(c, config) for c in counts]
-        return series
-
-    def table1_breakdown(self, config: TSOCCConfig, num_cores: Optional[int] = None) -> Dict[str, float]:
-        """Return a per-component breakdown (bits) mirroring Table 1."""
-        cores = num_cores if num_cores is not None else self.system.num_cores
-        system = self._system_for(cores)
-        tiles = system.effective_l2_tiles
-        total = tsocc_overhead_bits(system, config)
-        # Recompute the per-line components for the breakdown.
-        ts_bits = config.ts_bits if (config.use_timestamps and config.ts_bits is not None) else (
-            31 if config.use_timestamps else 0)
-        l1_line_bits = config.max_acc_bits + ts_bits + 2
-        l2_line_bits = _log2_ceil(cores) + 2 + ts_bits
-        return {
-            "total_bits": float(total),
-            "l1_per_line_bits": float(l1_line_bits),
-            "l2_per_line_bits": float(l2_line_bits),
-            "l1_lines_per_core": float(system.l1_lines),
-            "l2_lines_total": float(system.total_l2_lines),
-            "num_cores": float(cores),
-            "num_l2_tiles": float(tiles),
-            "total_mbytes": total / 8 / (1024 * 1024),
-        }
+from repro.protocols.storage import (  # noqa: F401
+    StorageModel,
+    _log2_ceil,
+    log2_ceil,
+    mesi_overhead_bits,
+    tsocc_overhead_bits,
+)
+from repro.protocols.tsocc.storage import tsocc_table1_breakdown  # noqa: F401

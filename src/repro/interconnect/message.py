@@ -86,9 +86,12 @@ class MessageType(Enum):
 _MESSAGE_SEQ = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single coherence message in flight.
+
+    Slotted: messages are the hot allocation path of multi-million-event
+    runs (one object per hop, several per miss).
 
     Attributes:
         mtype: the :class:`MessageType`.

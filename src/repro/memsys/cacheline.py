@@ -25,9 +25,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One cache line (block) and its protocol metadata.
+
+    Slotted: every fill allocates one (the ``custom`` dict remains the
+    free-form per-protocol scratch space).
 
     Attributes:
         address: line-aligned byte address of the block.

@@ -1,15 +1,26 @@
-"""Coherence protocol framework and baseline protocols.
+"""Coherence protocol framework and the bundled protocols.
 
 * :mod:`repro.protocols.base` — the controller interfaces shared by every
   protocol plus base classes with the plumbing (message sending, per-line
-  transaction tracking, request blocking, memory fetches) that both the MESI
-  baseline and TSO-CC build on.
+  transaction tracking, request blocking, install/evict/writeback paths,
+  recall collection, memory fetches) so each concrete controller is only its
+  state machine.
+* :mod:`repro.protocols.registry` — the class-based plugin registry:
+  :class:`Protocol`, :func:`register_protocol`, :func:`get_protocol` and the
+  ``PAPER_CONFIGURATIONS`` mapping (``MESI``, ``CC-shared-to-L2``,
+  ``TSO-CC-4-basic``, ``TSO-CC-4-noreset``, ``TSO-CC-4-12-3``,
+  ``TSO-CC-4-12-0``, ``TSO-CC-4-9-3``).
 * :mod:`repro.protocols.mesi` — the MESI directory protocol with a full
   sharing vector: the paper's baseline.
-* :mod:`repro.protocols.registry` — name-to-configuration mapping for every
-  protocol configuration evaluated in the paper (``MESI``,
-  ``CC-shared-to-L2``, ``TSO-CC-4-basic``, ``TSO-CC-4-noreset``,
-  ``TSO-CC-4-12-3``, ``TSO-CC-4-12-0``, ``TSO-CC-4-9-3``).
+* :mod:`repro.protocols.tsocc` — the TSO-CC protocol family: the paper's
+  contribution (previously at ``repro.core``).
+* :mod:`repro.protocols.msi` — an MSI baseline (MESI minus E) added purely
+  through the plugin API; the worked example for adding protocols.
+* :mod:`repro.protocols.storage` — the cross-protocol storage-overhead
+  calculator (Figure 2 / Table 1) over the plugins.
+
+Importing this package registers the bundled protocols; the import order of
+the plugin packages below fixes the registry (and therefore figure) order.
 """
 
 from repro.protocols.base import (
@@ -21,10 +32,22 @@ from repro.protocols.base import (
 )
 from repro.protocols.registry import (
     PAPER_CONFIGURATIONS,
+    Protocol,
     ProtocolSpec,
+    get_protocol,
     get_protocol_spec,
     list_protocol_names,
+    register_configuration,
+    register_protocol,
+    registered_protocols,
 )
+
+# Plugin registration (order defines the registry / figure order).
+import repro.protocols.mesi    # noqa: E402,F401  (registers MESI)
+import repro.protocols.tsocc   # noqa: E402,F401  (registers the TSO-CC family)
+import repro.protocols.msi     # noqa: E402,F401  (registers MSI, in_paper=False)
+
+from repro.protocols.storage import StorageModel  # noqa: E402
 
 __all__ = [
     "L1ControllerInterface",
@@ -32,8 +55,14 @@ __all__ = [
     "BaseL1Controller",
     "BaseL2Controller",
     "PendingTransaction",
+    "Protocol",
     "ProtocolSpec",
     "PAPER_CONFIGURATIONS",
+    "StorageModel",
+    "get_protocol",
     "get_protocol_spec",
     "list_protocol_names",
+    "register_protocol",
+    "register_configuration",
+    "registered_protocols",
 ]

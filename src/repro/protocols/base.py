@@ -1,7 +1,7 @@
 """Controller interfaces and shared plumbing for coherence protocols.
 
-Both the MESI baseline and the TSO-CC protocol are implemented as a pair of
-message-driven controllers:
+Every protocol plugin (see :mod:`repro.protocols.registry`) is implemented
+as a pair of message-driven controllers:
 
 * an **L1 controller** per core, servicing the core's loads / stores / RMWs /
   fences against the private L1 cache and talking to the home L2 tile over
@@ -10,25 +10,39 @@ message-driven controllers:
   (with directory metadata where the protocol needs it) and the path to main
   memory.
 
-The base classes here provide the protocol-independent plumbing:
+The base classes here provide the protocol-independent plumbing, so each
+concrete controller is essentially just its state machine:
 
 * message construction and sending,
 * home-tile lookup,
 * per-line *pending transaction* tracking at the L1 (one outstanding
   transaction per line; later core operations on the same line are deferred
   and replayed on completion),
+* operation completion accounting (load/store/RMW latency statistics),
+* transaction retirement (:meth:`BaseL1Controller.finish_txn_with_line`:
+  performing the deferred load/store/RMW against the just-installed line),
+* line installation with victim selection and the private-line writeback
+  path (PutM/PutE plus the in-flight eviction buffer),
+* invalidation handling (copy drop, in-flight-response poisoning, InvAck),
 * per-line request *blocking* at the L2 (while a line is in a transient
   state — e.g. waiting for an owner's acknowledgement — later requests are
-  queued and replayed in arrival order), and
-* the memory fetch / writeback path.
+  queued and replayed in arrival order),
+* L2 line allocation with busy-way retry, the writeback/recall collection
+  machinery, and the memory fetch / writeback path.
 
-Protocol subclasses implement the actual state machines.
+Protocol subclasses supply the state enums (``state_enum``,
+``shared_state``, ``modified_state`` at the L1; ``exclusive_state``,
+``idle_state`` at the L2) and override the small hooks
+(:meth:`BaseL1Controller.on_line_written`, :meth:`BaseL1Controller.put_info`,
+:meth:`BaseL2Controller.on_put_writeback`,
+:meth:`BaseL2Controller.on_recalled_wb_data`) where they need to attach
+protocol-specific metadata (e.g. TSO-CC timestamps) to the shared flows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Protocol
+from typing import Any, Callable, ClassVar, Dict, List, Optional, Protocol
 
 from repro.interconnect.message import Message, MessageType
 from repro.interconnect.network import Network
@@ -70,9 +84,12 @@ class L2ControllerInterface(Protocol):
         """Process a network message addressed to this tile."""
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingTransaction:
     """One outstanding L1 miss / upgrade transaction for a cache line.
+
+    Slotted: these records sit on the hot allocation path (one per L1 miss)
+    of multi-million-event runs.
 
     Attributes:
         kind: ``"load"``, ``"store"``, ``"rmw"`` or ``"fence"``.
@@ -106,6 +123,10 @@ class PendingTransaction:
 class BaseL1Controller:
     """Shared plumbing for L1 cache controllers.
 
+    Subclasses must set the protocol state attributes (``state_enum``,
+    ``shared_state``, ``modified_state``) and implement ``handle_message``
+    and ``_evict``.
+
     Args:
         core_id: id of the core this L1 belongs to.
         sim: simulation engine.
@@ -116,6 +137,15 @@ class BaseL1Controller:
         stats: statistics sink.
         hit_latency: L1 hit latency in cycles.
     """
+
+    #: Display label used in protocol-invariant error messages.
+    protocol_label: ClassVar[str] = "L1"
+    #: Enum type of this protocol's stable L1 states.
+    state_enum: ClassVar[Optional[type]] = None
+    #: State installed for shared data responses / downgrades.
+    shared_state: ClassVar[Any] = None
+    #: State a line enters when the core writes it.
+    modified_state: ClassVar[Any] = None
 
     def __init__(
         self,
@@ -196,6 +226,13 @@ class BaseL1Controller:
         txn.deferred.append(retry)
         return True
 
+    def deferred_or_waiting(self, address: int, retry: Callable[[], None]) -> bool:
+        """Common core-operation prologue: defer ``retry`` behind an
+        outstanding transaction or an in-flight writeback of its line."""
+        if self.defer(address, retry):
+            return True
+        return self.wait_for_writeback(address, retry)
+
     def finish_transaction(self, line_address: int) -> None:
         """Complete the transaction on ``line_address`` and replay deferred
         operations (each rescheduled at the current time)."""
@@ -204,6 +241,18 @@ class BaseL1Controller:
             return
         for retry in txn.deferred:
             self.sim.schedule(0, retry)
+
+    def response_txn(self, msg: Message) -> PendingTransaction:
+        """Return the pending transaction a data response belongs to,
+        failing loudly on unsolicited responses."""
+        assert msg.address is not None
+        txn = self._pending.get(msg.address)
+        if txn is None:
+            raise RuntimeError(
+                f"{self.protocol_label} L1[{self.core_id}]: data response for "
+                f"{msg.address:#x} without a pending transaction"
+            )
+        return txn
 
     # -- eviction buffer ---------------------------------------------------------
 
@@ -238,6 +287,124 @@ class BaseL1Controller:
             return True
         return False
 
+    # -- completion accounting -------------------------------------------------
+
+    def _complete_load(self, callback: Callable[[int], None], value: int, start: int) -> None:
+        def finish() -> None:
+            self.stats.loads += 1
+            self.stats.load_latency_total += self.sim.now - start
+            callback(value)
+
+        self.complete_with_latency(finish)
+
+    def _complete_store(self, callback: Callable[[], None], start: int) -> None:
+        def finish() -> None:
+            self.stats.stores += 1
+            self.stats.store_latency_total += self.sim.now - start
+            callback()
+
+        self.complete_with_latency(finish)
+
+    def _complete_rmw(self, callback: Callable[[int], None], old: int, start: int) -> None:
+        def finish() -> None:
+            self.stats.rmws += 1
+            self.stats.rmw_latency_total += self.sim.now - start
+            callback(old)
+
+        self.complete_with_latency(finish)
+
+    # -- transaction retirement --------------------------------------------------
+
+    def on_line_written(self, line: CacheLine) -> None:
+        """Hook invoked after the core performs a write on ``line`` during
+        transaction retirement (TSO-CC stamps the line's timestamp here)."""
+
+    def finish_txn_with_line(self, txn: PendingTransaction, line: CacheLine) -> None:
+        """Retire ``txn`` against the just-installed ``line``: perform the
+        deferred load/store/RMW, replay queued operations and complete."""
+        offset = self.address_map.line_offset(txn.address)
+        callback = txn.callback
+        kind = txn.kind
+        start = txn.start_time
+        if kind == "load":
+            value = line.read_word(offset)
+            self.finish_transaction(txn.line_address)
+            self._complete_load(callback, value, start)
+        elif kind == "store":
+            assert txn.value is not None
+            line.write_word(offset, txn.value)
+            line.state = self.modified_state
+            self.on_line_written(line)
+            self.finish_transaction(txn.line_address)
+            self._complete_store(callback, start)
+        elif kind == "rmw":
+            assert txn.modify is not None
+            old = line.read_word(offset)
+            line.write_word(offset, txn.modify(old))
+            line.state = self.modified_state
+            self.on_line_written(line)
+            self.finish_transaction(txn.line_address)
+            self._complete_rmw(callback, old, start)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unexpected transaction kind {kind!r}")
+
+    # -- install / writeback path -------------------------------------------------
+
+    def install_line(self, line_address: int, data: Dict[int, int], state: Any) -> CacheLine:
+        """Install a data response: merge into an existing copy or insert a
+        fresh line, evicting a victim (never a line with an outstanding
+        transaction) through the protocol's ``_evict``."""
+        existing = self.cache.get_line(line_address)
+        if existing is not None:
+            existing.merge_data(data)
+            existing.state = state
+            existing.dirty = False
+            return existing
+        line = CacheLine(address=line_address, state=state)
+        line.merge_data(data)
+        victim = self.cache.insert(
+            line, victim_filter=lambda cand: cand.address not in self._pending
+        )
+        if victim is not None:
+            self._evict(victim)
+        return line
+
+    def put_info(self, victim: CacheLine, dirty: bool) -> Dict[str, Any]:
+        """Info fields attached to a Put message (protocols add metadata)."""
+        return {"owner": self.core_id, "dirty": dirty}
+
+    def writeback_victim(self, victim: CacheLine) -> None:
+        """Write a private (Exclusive/Modified) victim back to its home tile:
+        hold it in the eviction buffer until the PutAck arrives and send PutM
+        (dirty or Modified) or PutE (clean)."""
+        self.hold_evicting(victim)
+        dirty = victim.dirty or victim.state is self.modified_state
+        mtype = MessageType.PUTM if dirty else MessageType.PUTE
+        self.send(mtype, self.home_node(victim.address),
+                  address=victim.address,
+                  data=victim.copy_data() if mtype is MessageType.PUTM else None,
+                  **self.put_info(victim, dirty))
+
+    def _evict(self, victim: CacheLine) -> None:  # pragma: no cover - abstract
+        """Evict ``victim`` from the cache (implemented per protocol)."""
+        raise NotImplementedError
+
+    # -- invalidations -----------------------------------------------------------
+
+    def handle_invalidation(self, msg: Message) -> None:
+        """Drop our copy of the invalidated line, poison any data response
+        still in flight towards us (so it is used once but not cached as a
+        stale copy) and acknowledge the sender."""
+        assert msg.address is not None
+        if self.cache.get_line(msg.address) is not None:
+            self.cache.remove(msg.address)
+        txn = self._pending.get(msg.address)
+        if txn is not None:
+            txn.meta["inv_raced"] = True
+        self.stats.invalidations_received += 1
+        self.send(MessageType.INV_ACK, msg.src, address=msg.address,
+                  acker=self.core_id)
+
     # -- helpers -------------------------------------------------------------------
 
     def after(self, delay: int, fn: Callable[[], None]) -> None:
@@ -252,6 +419,9 @@ class BaseL1Controller:
 class BaseL2Controller:
     """Shared plumbing for L2 tile controllers.
 
+    Subclasses must set the directory state attributes (``exclusive_state``,
+    ``idle_state``) and implement ``handle_message`` and ``_evict_victim``.
+
     Args:
         tile_id: id of this L2 tile.
         sim: simulation engine.
@@ -263,6 +433,13 @@ class BaseL2Controller:
         stats: statistics sink.
         access_latency: tag/data access latency of the tile in cycles.
     """
+
+    #: Display label used in protocol-invariant error messages.
+    protocol_label: ClassVar[str] = "L2"
+    #: Directory state meaning "a single tracked L1 owner".
+    exclusive_state: ClassVar[Any] = None
+    #: Directory state meaning "no tracked L1 copies".
+    idle_state: ClassVar[Any] = None
 
     def __init__(
         self,
@@ -288,6 +465,8 @@ class BaseL2Controller:
         self.node_id = topology.l2_node(tile_id)
         # line address -> queued messages waiting for the line to unblock
         self._blocked: Dict[int, List[Message]] = {}
+        # line address -> in-progress recall/eviction bookkeeping
+        self._recalls: Dict[int, Dict] = {}
         network.register(self.node_id, self)
 
     # -- messaging ------------------------------------------------------------
@@ -351,6 +530,111 @@ class BaseL2Controller:
             return
         for queued in queue:
             self.sim.schedule(0, lambda m=queued: self.handle_message(m))
+
+    # -- allocation -----------------------------------------------------------------
+
+    def allocate_line(self, line_addr: int) -> Optional[CacheLine]:
+        """Insert an empty line, evicting (and possibly recalling) a victim
+        through the protocol's ``_evict_victim``.
+
+        Returns ``None`` when every candidate way is busy (blocked
+        mid-transaction or mid-recall), in which case the caller retries
+        shortly.
+        """
+        can_evict = lambda cand: (not self.is_blocked(cand.address)  # noqa: E731
+                                  and cand.address not in self._recalls)
+        if self.cache.needs_eviction(line_addr) and self.cache.pick_victim(
+                line_addr, victim_filter=can_evict) is None:
+            return None
+        line = CacheLine(address=line_addr, state=None)
+        victim = self.cache.insert(line, victim_filter=can_evict)
+        if victim is not None:
+            self._evict_victim(victim)
+        return line
+
+    def record_l2_eviction(self, victim: CacheLine) -> None:
+        """Count one L2 eviction under the victim's state name."""
+        self.stats.evictions[victim.state.value if victim.state else "none"] += 1
+
+    def _evict_victim(self, victim: CacheLine) -> None:  # pragma: no cover - abstract
+        """Evict ``victim`` from this tile (implemented per protocol)."""
+        raise NotImplementedError
+
+    # -- L1 writebacks (Put*) --------------------------------------------------------
+
+    def on_put_writeback(self, line: CacheLine, msg: Message) -> None:
+        """Hook invoked when a dirty Put merged data into ``line`` (TSO-CC
+        records the writer's timestamp here)."""
+
+    def handle_put(self, msg: Message, dirty: bool) -> None:
+        """Process a PutE/PutM from an L1: absorb the data if the put is
+        dirty and the sender really is the tracked owner, drop the owner
+        tracking and acknowledge."""
+        assert msg.address is not None
+        line = self.cache.get_line(msg.address)
+        owner = msg.info["owner"]
+        if (
+            line is not None
+            and line.state is self.exclusive_state
+            and line.owner == owner
+        ):
+            if dirty and msg.data is not None:
+                line.merge_data(msg.data)
+                line.dirty = True
+                self.on_put_writeback(line, msg)
+            line.state = self.idle_state
+            line.owner = None
+        self.send(MessageType.PUT_ACK, msg.src, address=msg.address)
+
+    # -- recalls (L2 evictions of tracked lines) ---------------------------------------
+
+    def begin_recall(self, victim: CacheLine, pending: int,
+                     dirty: Optional[bool] = None) -> None:
+        """Start collecting ``pending`` responses for an evicted tracked
+        line; the line stays blocked until every response arrived."""
+        self.stats.recalls += 1
+        self.block(victim.address)
+        self._recalls[victim.address] = {
+            "pending": pending,
+            "data": victim.copy_data(),
+            "dirty": victim.dirty if dirty is None else dirty,
+        }
+
+    def recall_in_progress(self, address: int) -> bool:
+        """``True`` while a recall of ``address`` is collecting responses."""
+        return address in self._recalls
+
+    def advance_recall(self, address: int) -> None:
+        """Account one recall response; on the last one, write the collected
+        line back to memory (if dirty) and unblock the line."""
+        recall = self._recalls[address]
+        recall["pending"] -= 1
+        if recall["pending"] > 0:
+            return
+        self._recalls.pop(address)
+        if recall["dirty"]:
+            self.writeback_to_memory(address, recall["data"])
+        self.unblock(address)
+
+    def on_recalled_wb_data(self, msg: Message) -> None:
+        """Hook invoked for writeback data that answers a recall (TSO-CC
+        records the owner's timestamp here)."""
+
+    def handle_wb_data(self, msg: Message) -> None:
+        """Process WB_DATA: fold it into the recall it answers, or — for an
+        unsolicited writeback (e.g. a race with an already-handled PutM) —
+        send dirty data straight to memory."""
+        assert msg.address is not None
+        recall = self._recalls.get(msg.address)
+        if recall is None:
+            if msg.info.get("dirty") and msg.data is not None:
+                self.writeback_to_memory(msg.address, msg.data)
+            return
+        if msg.info.get("dirty") and msg.data is not None:
+            recall["data"].update(msg.data)
+            recall["dirty"] = True
+        self.on_recalled_wb_data(msg)
+        self.advance_recall(msg.address)
 
     # -- memory path ---------------------------------------------------------------
 

@@ -9,10 +9,13 @@ with core count motivates TSO-CC).
 * :mod:`repro.protocols.mesi.l1_controller` — private-cache controller.
 * :mod:`repro.protocols.mesi.l2_controller` — shared-cache / directory
   controller (invalidation fan-out, owner forwarding, recalls).
+* :mod:`repro.protocols.mesi.protocol` — the registered plugin and the
+  full-map directory storage model.
 """
 
 from repro.protocols.mesi.l1_controller import MESIL1Controller
 from repro.protocols.mesi.l2_controller import MESIL2Controller
+from repro.protocols.mesi.protocol import MESIProtocol, full_map_directory_bits
 from repro.protocols.mesi.states import MESIDirState, MESIL1State
 
 __all__ = [
@@ -20,4 +23,6 @@ __all__ = [
     "MESIDirState",
     "MESIL1Controller",
     "MESIL2Controller",
+    "MESIProtocol",
+    "full_map_directory_bits",
 ]

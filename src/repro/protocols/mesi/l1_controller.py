@@ -4,11 +4,17 @@ Implements the core-facing operations (loads, stores, RMWs, fences) and the
 L1 side of the directory protocol: reacting to forwarded requests when this
 core is the owner, to invalidations when another core writes a shared line,
 and to recalls when the inclusive L2 evicts a line this core caches.
+
+Only the MESI state machine lives here; the pending-transaction replay,
+install/evict, writeback and invalidation plumbing comes from
+:class:`~repro.protocols.base.BaseL1Controller`.  The protocol states are
+class attributes so that derived protocols (the MSI baseline) can reuse the
+state machine with their own state enum.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 from repro.interconnect.message import Message, MessageType
 from repro.memsys.cacheline import CacheLine
@@ -19,23 +25,21 @@ from repro.protocols.mesi.states import MESIL1State
 class MESIL1Controller(BaseL1Controller):
     """L1 cache controller for the MESI directory baseline."""
 
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        # line address -> callbacks waiting for an in-flight writeback to be
-        # acknowledged before the line can be re-requested.
-        self._evict_waiters: Dict[int, List[Callable[[], None]]] = {}
+    protocol_label = "MESI"
+    state_enum = MESIL1State
+    shared_state = MESIL1State.SHARED
+    exclusive_state = MESIL1State.EXCLUSIVE
+    modified_state = MESIL1State.MODIFIED
 
     # ------------------------------------------------------------------ core ops
 
     def issue_load(self, address: int, callback: Callable[[int], None]) -> None:
         """Perform a word load (see :class:`L1ControllerInterface`)."""
-        if self.defer(address, lambda: self.issue_load(address, callback)):
-            return
-        if self._wait_for_writeback(address, lambda: self.issue_load(address, callback)):
+        if self.deferred_or_waiting(address, lambda: self.issue_load(address, callback)):
             return
         start = self.sim.now
         line = self.cache.get_line(address)
-        if line is not None and isinstance(line.state, MESIL1State):
+        if line is not None and isinstance(line.state, self.state_enum):
             self.stats.record_hit("read", line.state.category)
             offset = self.address_map.line_offset(address)
             value = line.read_word(offset)
@@ -55,14 +59,12 @@ class MESIL1Controller(BaseL1Controller):
 
     def issue_store(self, address: int, value: int, callback: Callable[[], None]) -> None:
         """Perform a word store (called by the core's write-buffer drain)."""
-        if self.defer(address, lambda: self.issue_store(address, value, callback)):
-            return
-        if self._wait_for_writeback(address, lambda: self.issue_store(address, value, callback)):
+        if self.deferred_or_waiting(address, lambda: self.issue_store(address, value, callback)):
             return
         start = self.sim.now
         line = self.cache.get_line(address)
-        if line is not None and isinstance(line.state, MESIL1State) and line.state.is_private:
-            line.state = MESIL1State.MODIFIED
+        if line is not None and isinstance(line.state, self.state_enum) and line.state.is_private:
+            line.state = self.modified_state
             line.write_word(self.address_map.line_offset(address), value)
             self.stats.record_hit("write", "private")
             self._complete_store(callback, start)
@@ -86,17 +88,15 @@ class MESIL1Controller(BaseL1Controller):
         self, address: int, modify: Callable[[int], int], callback: Callable[[int], None]
     ) -> None:
         """Perform an atomic read-modify-write."""
-        if self.defer(address, lambda: self.issue_rmw(address, modify, callback)):
-            return
-        if self._wait_for_writeback(address, lambda: self.issue_rmw(address, modify, callback)):
+        if self.deferred_or_waiting(address, lambda: self.issue_rmw(address, modify, callback)):
             return
         start = self.sim.now
         line = self.cache.get_line(address)
-        if line is not None and isinstance(line.state, MESIL1State) and line.state.is_private:
+        if line is not None and isinstance(line.state, self.state_enum) and line.state.is_private:
             offset = self.address_map.line_offset(address)
             old = line.read_word(offset)
             line.write_word(offset, modify(old))
-            line.state = MESIL1State.MODIFIED
+            line.state = self.modified_state
             self.stats.record_hit("write", "private")
             self._complete_rmw(callback, old, start)
             return
@@ -121,32 +121,6 @@ class MESIL1Controller(BaseL1Controller):
         self.stats.fences += 1
         self.complete_with_latency(callback, latency=1)
 
-    # ------------------------------------------------------------------ completion helpers
-
-    def _complete_load(self, callback: Callable[[int], None], value: int, start: int) -> None:
-        def finish() -> None:
-            self.stats.loads += 1
-            self.stats.load_latency_total += self.sim.now - start
-            callback(value)
-
-        self.complete_with_latency(finish)
-
-    def _complete_store(self, callback: Callable[[], None], start: int) -> None:
-        def finish() -> None:
-            self.stats.stores += 1
-            self.stats.store_latency_total += self.sim.now - start
-            callback()
-
-        self.complete_with_latency(finish)
-
-    def _complete_rmw(self, callback: Callable[[int], None], old: int, start: int) -> None:
-        def finish() -> None:
-            self.stats.rmws += 1
-            self.stats.rmw_latency_total += self.sim.now - start
-            callback(old)
-
-        self.complete_with_latency(finish)
-
     # ------------------------------------------------------------------ messages
 
     def handle_message(self, msg: Message) -> None:
@@ -159,38 +133,34 @@ class MESIL1Controller(BaseL1Controller):
             MessageType.ACK: self._on_grant_ack,
             MessageType.FWD_GETS: self._on_fwd_gets,
             MessageType.FWD_GETX: self._on_fwd_getx,
-            MessageType.INV: self._on_inv,
+            MessageType.INV: self.handle_invalidation,
             MessageType.RECALL: self._on_recall,
             MessageType.PUT_ACK: self._on_put_ack,
         }.get(msg.mtype)
         if handler is None:
-            raise RuntimeError(f"MESI L1[{self.core_id}]: unexpected message {msg!r}")
+            raise RuntimeError(
+                f"{self.protocol_label} L1[{self.core_id}]: unexpected message {msg!r}")
         handler(msg)
 
     # -- data responses ---------------------------------------------------------
 
     def _on_data(self, msg: Message) -> None:
         assert msg.address is not None
-        txn = self._pending.get(msg.address)
-        if txn is None:
-            raise RuntimeError(
-                f"MESI L1[{self.core_id}]: data response for {msg.address:#x} "
-                f"without a pending transaction"
-            )
+        txn = self.response_txn(msg)
         self.stats.data_responses += 1
         state = {
-            MessageType.DATA_E: MESIL1State.EXCLUSIVE,
-            MessageType.DATA_S: MESIL1State.SHARED,
-            MessageType.DATA_X: MESIL1State.MODIFIED,
+            MessageType.DATA_E: self.exclusive_state,
+            MessageType.DATA_S: self.shared_state,
+            MessageType.DATA_X: self.modified_state,
             MessageType.DATA_OWNER: None,
         }[msg.mtype]
         if msg.mtype is MessageType.DATA_OWNER:
             # Data forwarded by the previous owner: shared for loads,
             # modified for stores/RMWs.
-            state = MESIL1State.SHARED if txn.kind == "load" else MESIL1State.MODIFIED
-        line = self._install_line(msg.address, msg.data or {}, state)
-        self._finish_txn_with_line(txn, line)
-        if txn.meta.get("inv_raced") and state is MESIL1State.SHARED:
+            state = self.shared_state if txn.kind == "load" else self.modified_state
+        line = self.install_line(msg.address, msg.data or {}, state)
+        self.finish_txn_with_line(txn, line)
+        if txn.meta.get("inv_raced") and state is self.shared_state:
             # An invalidation overtook this (older) shared-data response: the
             # directory no longer tracks us, so the data may be used exactly
             # once but must not stay cached (it could be stale forever).
@@ -199,46 +169,16 @@ class MESIL1Controller(BaseL1Controller):
     def _on_grant_ack(self, msg: Message) -> None:
         """Write permission granted without data (upgrade from Shared)."""
         assert msg.address is not None
-        txn = self._pending.get(msg.address)
-        if txn is None:
-            raise RuntimeError(
-                f"MESI L1[{self.core_id}]: upgrade ack for {msg.address:#x} "
-                f"without a pending transaction"
-            )
+        txn = self.response_txn(msg)
         self.stats.data_responses += 1
         line = self.cache.get_line(msg.address)
         if line is None:
             # The shared copy was invalidated (or evicted) while the upgrade
             # was in flight; fall back to installing an empty line with the
             # directory-provided data if present.
-            line = self._install_line(msg.address, msg.data or {}, MESIL1State.MODIFIED)
-        line.state = MESIL1State.MODIFIED
-        self._finish_txn_with_line(txn, line)
-
-    def _finish_txn_with_line(self, txn: PendingTransaction, line: CacheLine) -> None:
-        offset = self.address_map.line_offset(txn.address)
-        callback = txn.callback
-        kind = txn.kind
-        start = txn.start_time
-        if kind == "load":
-            value = line.read_word(offset)
-            self.finish_transaction(txn.line_address)
-            self._complete_load(callback, value, start)
-        elif kind == "store":
-            assert txn.value is not None
-            line.write_word(offset, txn.value)
-            line.state = MESIL1State.MODIFIED
-            self.finish_transaction(txn.line_address)
-            self._complete_store(callback, start)
-        elif kind == "rmw":
-            assert txn.modify is not None
-            old = line.read_word(offset)
-            line.write_word(offset, txn.modify(old))
-            line.state = MESIL1State.MODIFIED
-            self.finish_transaction(txn.line_address)
-            self._complete_rmw(callback, old, start)
-        else:  # pragma: no cover - defensive
-            raise RuntimeError(f"unexpected transaction kind {kind!r}")
+            line = self.install_line(msg.address, msg.data or {}, self.modified_state)
+        line.state = self.modified_state
+        self.finish_txn_with_line(txn, line)
 
     # -- forwarded requests -------------------------------------------------------
 
@@ -248,7 +188,7 @@ class MESIL1Controller(BaseL1Controller):
         buffer.  A Shared resident copy is never authoritative for a
         forward."""
         line = self.cache.get_line(address)
-        if line is not None and isinstance(line.state, MESIL1State) and line.state.is_private:
+        if line is not None and isinstance(line.state, self.state_enum) and line.state.is_private:
             return line
         return self.evicting_line(address)
 
@@ -276,7 +216,7 @@ class MESIL1Controller(BaseL1Controller):
         data: Dict[int, int] = line.copy_data() if line is not None else {}
         dirty = bool(line is not None and line.dirty)
         if line is not None and self.cache.get_line(msg.address) is line:
-            line.state = MESIL1State.SHARED
+            line.state = self.shared_state
             line.dirty = False
         self.send(MessageType.DATA_OWNER, self.topology.l1_node(requester),
                   address=msg.address, data=data, writer=self.core_id)
@@ -299,23 +239,6 @@ class MESIL1Controller(BaseL1Controller):
         self.send(MessageType.TRANSFER_ACK, msg.src, address=msg.address,
                   new_owner=requester, old_owner=self.core_id)
 
-    def _on_inv(self, msg: Message) -> None:
-        """Invalidate our shared copy (another core is writing, or the L2 is
-        recalling a shared line)."""
-        assert msg.address is not None
-        line = self.cache.get_line(msg.address)
-        if line is not None:
-            self.cache.remove(msg.address)
-        txn = self._pending.get(msg.address)
-        if txn is not None:
-            # The invalidation raced ahead of a data response still in
-            # flight to us: poison the transaction so the response is used
-            # once but not cached (see _on_data).
-            txn.meta["inv_raced"] = True
-        self.stats.invalidations_received += 1
-        self.send(MessageType.INV_ACK, msg.src, address=msg.address,
-                  acker=self.core_id)
-
     def _on_recall(self, msg: Message) -> None:
         """The inclusive L2 is evicting a line we own: write it back."""
         assert msg.address is not None
@@ -333,52 +256,16 @@ class MESIL1Controller(BaseL1Controller):
     def _on_put_ack(self, msg: Message) -> None:
         assert msg.address is not None
         self.release_evicting(msg.address)
-        waiters = self._evict_waiters.pop(msg.address, [])
-        for retry in waiters:
-            self.sim.schedule(0, retry)
 
-    # ------------------------------------------------------------------ install / evict
-
-    def _wait_for_writeback(self, address: int, retry: Callable[[], None]) -> bool:
-        """Defer ``retry`` if the line of ``address`` has a writeback in
-        flight (we must not re-request it until the L2 acknowledged the put,
-        otherwise the L2 could respond with stale data)."""
-        line_addr = self.address_map.line_address(address)
-        if line_addr in self._evicting:
-            self._evict_waiters.setdefault(line_addr, []).append(retry)
-            return True
-        return False
-
-    def _install_line(self, line_address: int, data: Dict[int, int], state: MESIL1State) -> CacheLine:
-        existing = self.cache.get_line(line_address)
-        if existing is not None:
-            existing.merge_data(data)
-            existing.state = state
-            existing.dirty = False
-            return existing
-        line = CacheLine(address=line_address, state=state)
-        line.merge_data(data)
-        victim = self.cache.insert(
-            line, victim_filter=lambda cand: cand.address not in self._pending
-        )
-        if victim is not None:
-            self._evict(victim)
-        return line
+    # ------------------------------------------------------------------ evictions
 
     def _evict(self, victim: CacheLine) -> None:
-        if not isinstance(victim.state, MESIL1State):
+        if not isinstance(victim.state, self.state_enum):
             return
         self.stats.evictions[victim.state.category] += 1
-        if victim.state is MESIL1State.SHARED:
+        if victim.state is self.shared_state:
             # Notify the directory so it can drop us from the sharing vector.
             self.send(MessageType.PUTS, self.home_node(victim.address),
                       address=victim.address, owner=self.core_id)
             return
-        self.hold_evicting(victim)
-        if victim.state is MESIL1State.MODIFIED or victim.dirty:
-            self.send(MessageType.PUTM, self.home_node(victim.address),
-                      address=victim.address, data=victim.copy_data(),
-                      owner=self.core_id, dirty=True)
-        else:
-            self.send(MessageType.PUTE, self.home_node(victim.address),
-                      address=victim.address, owner=self.core_id, dirty=False)
+        self.writeback_victim(victim)

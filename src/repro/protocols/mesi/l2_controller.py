@@ -11,6 +11,13 @@ the directory tracks either:
 Writes to shared lines trigger invalidation fan-out: the directory sends an
 ``INV`` to every sharer, collects the acknowledgements and only then grants
 write permission — the eager behaviour whose cost TSO-CC avoids.
+
+The read/write grants to untracked lines are factored into
+:meth:`MESIL2Controller.grant_read` / :meth:`MESIL2Controller.grant_write`
+so derived protocols can change the grant policy without touching the rest
+of the state machine — MSI (:mod:`repro.protocols.msi`) overrides
+``grant_read`` to hand out Shared instead of Exclusive copies, which is the
+entire difference between the two protocols.
 """
 
 from __future__ import annotations
@@ -26,12 +33,14 @@ from repro.protocols.mesi.states import MESIDirState
 class MESIL2Controller(BaseL2Controller):
     """Directory / shared-cache controller for one L2 tile (MESI)."""
 
+    protocol_label = "MESI"
+    exclusive_state = MESIDirState.EXCLUSIVE
+    idle_state = MESIDirState.VALID
+
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         # line address -> in-progress directory transaction
         self._dir_txn: Dict[int, Dict] = {}
-        # line address -> in-progress recall (L2 eviction) bookkeeping
-        self._recalls: Dict[int, Dict] = {}
 
     # ------------------------------------------------------------------ dispatch
 
@@ -57,11 +66,34 @@ class MESIL2Controller(BaseL2Controller):
             MessageType.PUTS: self._on_puts,
             MessageType.PUTE: self._on_pute,
             MessageType.PUTM: self._on_putm,
-            MessageType.WB_DATA: self._on_wb_data,
+            MessageType.WB_DATA: self.handle_wb_data,
         }.get(msg.mtype)
         if handler is None:
-            raise RuntimeError(f"MESI L2[{self.tile_id}]: unexpected message {msg!r}")
+            raise RuntimeError(
+                f"{self.protocol_label} L2[{self.tile_id}]: unexpected message {msg!r}")
         handler(msg)
+
+    # ------------------------------------------------------------------ grants
+
+    def grant_read(self, line: CacheLine, requester: int) -> None:
+        """Grant a read of a line with no (other) tracked copies.  MESI hands
+        out an Exclusive copy so private read-write data avoids a later
+        upgrade; MSI overrides this to grant a Shared copy."""
+        line.state = MESIDirState.EXCLUSIVE
+        line.owner = requester
+        line.sharers = set()
+        self.send(MessageType.DATA_E, self.l1_node(requester),
+                  address=line.address, data=line.copy_data(),
+                  delay=self.access_latency)
+
+    def grant_write(self, line: CacheLine, requester: int) -> None:
+        """Grant exclusive write ownership of an untracked line."""
+        line.state = MESIDirState.EXCLUSIVE
+        line.owner = requester
+        line.sharers = set()
+        self.send(MessageType.DATA_X, self.l1_node(requester),
+                  address=line.address, data=line.copy_data(),
+                  delay=self.access_latency)
 
     # ------------------------------------------------------------------ reads
 
@@ -74,12 +106,7 @@ class MESIL2Controller(BaseL2Controller):
             self._fetch_and_then(msg)
             return
         if line.state is MESIDirState.VALID:
-            line.state = MESIDirState.EXCLUSIVE
-            line.owner = requester
-            line.sharers = set()
-            self.send(MessageType.DATA_E, self.l1_node(requester),
-                      address=line.address, data=line.copy_data(),
-                      delay=self.access_latency)
+            self.grant_read(line, requester)
             return
         if line.state is MESIDirState.SHARED:
             line.sharers.add(requester)
@@ -90,10 +117,8 @@ class MESIL2Controller(BaseL2Controller):
         # EXCLUSIVE at another owner: forward and wait for the downgrade ack.
         if line.owner == requester:
             # Stale owner information (e.g. a request racing its own PutE);
-            # simply re-grant exclusivity.
-            self.send(MessageType.DATA_E, self.l1_node(requester),
-                      address=line.address, data=line.copy_data(),
-                      delay=self.access_latency)
+            # simply re-grant through the protocol's read-grant policy.
+            self.grant_read(line, requester)
             return
         self.stats.forwarded_requests += 1
         self.block(line.address)
@@ -125,12 +150,7 @@ class MESIL2Controller(BaseL2Controller):
             self._fetch_and_then(msg)
             return
         if line.state is MESIDirState.VALID:
-            line.state = MESIDirState.EXCLUSIVE
-            line.owner = requester
-            line.sharers = set()
-            self.send(MessageType.DATA_X, self.l1_node(requester),
-                      address=line.address, data=line.copy_data(),
-                      delay=self.access_latency)
+            self.grant_write(line, requester)
             return
         if line.state is MESIDirState.SHARED:
             others = {sharer for sharer in line.sharers if sharer != requester}
@@ -167,9 +187,7 @@ class MESIL2Controller(BaseL2Controller):
             return
         # EXCLUSIVE
         if line.owner == requester:
-            self.send(MessageType.DATA_X, self.l1_node(requester),
-                      address=line.address, data=line.copy_data(),
-                      delay=self.access_latency)
+            self.grant_write(line, requester)
             return
         self.stats.forwarded_requests += 1
         self.block(line.address)
@@ -179,9 +197,8 @@ class MESIL2Controller(BaseL2Controller):
 
     def _on_inv_ack(self, msg: Message) -> None:
         assert msg.address is not None
-        recall = self._recalls.get(msg.address)
-        if recall is not None:
-            self._advance_recall(msg.address, msg)
+        if self.recall_in_progress(msg.address):
+            self.advance_recall(msg.address)
             return
         txn = self._dir_txn.get(msg.address)
         if txn is None or txn["type"] != "getx_inv":
@@ -231,134 +248,62 @@ class MESIL2Controller(BaseL2Controller):
     def _on_pute(self, msg: Message) -> None:
         assert msg.address is not None
         self.stats.requests["PutE"] += 1
-        self._handle_put(msg, dirty=False)
+        self.handle_put(msg, dirty=False)
 
     def _on_putm(self, msg: Message) -> None:
         assert msg.address is not None
         self.stats.requests["PutM"] += 1
-        self._handle_put(msg, dirty=True)
-
-    def _handle_put(self, msg: Message, dirty: bool) -> None:
-        assert msg.address is not None
-        line = self.cache.get_line(msg.address)
-        owner = msg.info["owner"]
-        if (
-            line is not None
-            and line.state is MESIDirState.EXCLUSIVE
-            and line.owner == owner
-        ):
-            if dirty and msg.data is not None:
-                line.merge_data(msg.data)
-                line.dirty = True
-            line.state = MESIDirState.VALID
-            line.owner = None
-        self.send(MessageType.PUT_ACK, msg.src, address=msg.address)
+        self.handle_put(msg, dirty=True)
 
     # ------------------------------------------------------------------ allocation / memory
 
     def _fetch_and_then(self, request: Message) -> None:
         """Allocate a line for ``request.address``, fetch it from memory and
-        then grant exclusivity to the requester."""
+        then grant it to the requester through the protocol's grant policy."""
         assert request.address is not None
         line_addr = self.address_map.line_address(request.address)
-        placed = self._allocate_line(line_addr)
+        placed = self.allocate_line(line_addr)
         if placed is None:
             # Could not allocate (every way is mid-recall); retry shortly.
             self.after(self.access_latency, lambda: self.handle_message(request))
             return
         self.block(line_addr)
         requester = request.info["requester"]
-        grant_type = (MessageType.DATA_E if request.mtype is MessageType.GETS
-                      else MessageType.DATA_X)
 
         def on_data(data: Dict[int, int]) -> None:
             placed.merge_data(data)
             placed.dirty = False
-            placed.state = MESIDirState.EXCLUSIVE
-            placed.owner = requester
-            placed.sharers = set()
-            self.send(grant_type, self.l1_node(requester),
-                      address=line_addr, data=placed.copy_data(),
-                      delay=self.access_latency)
+            if request.mtype is MessageType.GETS:
+                self.grant_read(placed, requester)
+            else:
+                self.grant_write(placed, requester)
             self.unblock(line_addr)
 
         self.fetch_from_memory(line_addr, on_data)
 
-    def _allocate_line(self, line_addr: int) -> Optional[CacheLine]:
-        """Insert an empty directory line, recalling a victim if necessary.
-
-        Returns ``None`` when no victim can currently be chosen (all ways in
-        the set are blocked mid-transaction), in which case the caller should
-        retry later.
-        """
-        line = CacheLine(address=line_addr, state=None)
-        victim = self.cache.pick_victim(
-            line_addr,
-            victim_filter=lambda cand: not self.is_blocked(cand.address)
-            and cand.address not in self._recalls,
-        )
-        if self.cache.needs_eviction(line_addr) and victim is None:
-            return None
-        inserted_victim = self.cache.insert(
-            line,
-            victim_filter=lambda cand: not self.is_blocked(cand.address)
-            and cand.address not in self._recalls,
-        )
-        if inserted_victim is not None:
-            self._start_recall(inserted_victim)
-        return line
-
-    def _start_recall(self, victim: CacheLine) -> None:
+    def _evict_victim(self, victim: CacheLine) -> None:
         """Recall an evicted directory line from the L1s that cache it
         (inclusive L2), then write it back to memory."""
-        self.stats.evictions[victim.state.value if victim.state else "none"] += 1
+        self.record_l2_eviction(victim)
         if victim.state is MESIDirState.VALID or victim.state is None:
             if victim.dirty:
                 self.writeback_to_memory(victim.address, victim.copy_data())
             return
-        self.stats.recalls += 1
-        self.block(victim.address)
         if victim.state is MESIDirState.EXCLUSIVE:
-            self._recalls[victim.address] = {
-                "pending": 1,
-                "data": victim.copy_data(),
-                "dirty": victim.dirty,
-            }
+            self.begin_recall(victim, pending=1)
             self.send(MessageType.RECALL, self.l1_node(victim.owner),
                       address=victim.address)
         else:  # SHARED
             sharers = set(victim.sharers)
-            self._recalls[victim.address] = {
-                "pending": len(sharers),
-                "data": victim.copy_data(),
-                "dirty": victim.dirty,
-            }
+            self.begin_recall(victim, pending=len(sharers))
             for sharer in sharers:
                 self.send(MessageType.INV, self.l1_node(sharer),
                           address=victim.address, recall=True)
             if not sharers:
-                self._finish_recall(victim.address)
+                self._finish_empty_recall(victim.address)
 
-    def _on_wb_data(self, msg: Message) -> None:
-        assert msg.address is not None
-        recall = self._recalls.get(msg.address)
-        if recall is None:
-            # Unsolicited writeback (e.g. race with a PutM already handled).
-            if msg.info.get("dirty") and msg.data is not None:
-                self.writeback_to_memory(msg.address, msg.data)
-            return
-        if msg.info.get("dirty") and msg.data is not None:
-            recall["data"].update(msg.data)
-            recall["dirty"] = True
-        self._advance_recall(msg.address, msg)
-
-    def _advance_recall(self, address: int, _msg: Message) -> None:
-        recall = self._recalls[address]
-        recall["pending"] -= 1
-        if recall["pending"] <= 0:
-            self._finish_recall(address)
-
-    def _finish_recall(self, address: int) -> None:
+    def _finish_empty_recall(self, address: int) -> None:
+        """Complete a recall that had no sharers to wait for."""
         recall = self._recalls.pop(address)
         if recall["dirty"]:
             self.writeback_to_memory(address, recall["data"])

@@ -1,0 +1,48 @@
+"""MESI protocol plugin: registration and the directory storage model."""
+
+from __future__ import annotations
+
+from repro.protocols.mesi.l1_controller import MESIL1Controller
+from repro.protocols.mesi.l2_controller import MESIL2Controller
+from repro.protocols.registry import Protocol, register_protocol
+from repro.protocols.storage import log2_ceil
+
+
+def full_map_directory_bits(system_config) -> int:
+    """Total coherence storage (bits) of a full-map directory baseline.
+
+    Per L2 line: a full sharing vector (one bit per core) plus an owner
+    pointer of ``log2(cores)`` bits and 2 bits of directory state.  Per L1
+    line: 2 bits of stable state (common to all protocols but included so
+    the comparison against TSO-CC's per-L1-line overhead is
+    apples-to-apples).  Shared by the MESI and MSI plugins — the protocols
+    differ only in grant policy, not in what the directory must track.
+    """
+    cores = system_config.num_cores
+    owner_bits = log2_ceil(cores)
+    per_l2_line = cores + owner_bits + 2
+    per_l1_line = 2
+    total = system_config.total_l2_lines * per_l2_line
+    total += cores * system_config.l1_lines * per_l1_line
+    return total
+
+
+@register_protocol
+class MESIProtocol(Protocol):
+    """The paper's eager invalidation-based baseline."""
+
+    kind = "mesi"
+    is_baseline = True
+    has_directory = True
+    l1_controller_cls = MESIL1Controller
+    l2_controller_cls = MESIL2Controller
+
+    @property
+    def name(self) -> str:
+        return "MESI"
+
+    def overhead_bits(self, system_config) -> int:
+        return full_map_directory_bits(system_config)
+
+    def config_summary(self) -> str:
+        return "eager MESI, full-map directory (1 bit/core sharing vector)"

@@ -1,0 +1,20 @@
+"""MSI directory protocol — MESI minus the Exclusive state.
+
+A second eager baseline demonstrating the protocol plugin API: the entire
+family is a read-grant-policy override on the MESI controllers plus a
+registered plugin — see :mod:`repro.protocols.msi.protocol` and the
+"Adding a protocol" section of EXPERIMENTS.md.
+"""
+
+from repro.protocols.msi.l1_controller import MSIL1Controller
+from repro.protocols.msi.l2_controller import MSIL2Controller
+from repro.protocols.msi.protocol import MSIProtocol
+from repro.protocols.msi.states import MSIDirState, MSIL1State
+
+__all__ = [
+    "MSIL1State",
+    "MSIDirState",
+    "MSIL1Controller",
+    "MSIL2Controller",
+    "MSIProtocol",
+]

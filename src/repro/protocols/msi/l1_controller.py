@@ -1,0 +1,33 @@
+"""MSI private-cache (L1) controller.
+
+Identical to the MESI state machine minus the Exclusive state: the state
+class attributes select the two-state enum, and a ``DataExclusive`` response
+— which the MSI directory never sends — is rejected loudly instead of being
+installed.  Everything else (miss handling, upgrades, forwards,
+invalidations, recalls, writebacks) is inherited unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.interconnect.message import Message, MessageType
+from repro.protocols.mesi.l1_controller import MESIL1Controller
+from repro.protocols.msi.states import MSIL1State
+
+
+class MSIL1Controller(MESIL1Controller):
+    """L1 cache controller for the MSI baseline (MESI minus E)."""
+
+    protocol_label = "MSI"
+    state_enum = MSIL1State
+    shared_state = MSIL1State.SHARED
+    # MSI has no clean-private state; DATA_E must never reach this L1.
+    exclusive_state = None
+    modified_state = MSIL1State.MODIFIED
+
+    def _on_data(self, msg: Message) -> None:
+        if msg.mtype is MessageType.DATA_E:
+            raise RuntimeError(
+                f"MSI L1[{self.core_id}]: received DataExclusive for "
+                f"{msg.address:#x} — the MSI directory must never grant E"
+            )
+        super()._on_data(msg)

@@ -1,0 +1,38 @@
+"""MSI protocol plugin.
+
+The worked example of the "Adding a protocol" guide in EXPERIMENTS.md: a
+complete protocol family added purely through the plugin API — no changes to
+the system builder, CLI or experiment matrix.  Registered with
+``in_paper=False`` since the paper's evaluation does not include it; select
+it explicitly (``--protocol MSI``) to add it to any experiment.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.mesi.protocol import full_map_directory_bits
+from repro.protocols.msi.l1_controller import MSIL1Controller
+from repro.protocols.msi.l2_controller import MSIL2Controller
+from repro.protocols.registry import Protocol, register_protocol
+
+
+@register_protocol
+class MSIProtocol(Protocol):
+    """Eager MSI baseline: MESI minus the Exclusive state."""
+
+    kind = "msi"
+    has_directory = True
+    in_paper = False
+    l1_controller_cls = MSIL1Controller
+    l2_controller_cls = MSIL2Controller
+
+    @property
+    def name(self) -> str:
+        return "MSI"
+
+    def overhead_bits(self, system_config) -> int:
+        # Same directory inventory as MESI: dropping the E state changes the
+        # grant policy, not what the directory must track per line.
+        return full_map_directory_bits(system_config)
+
+    def config_summary(self) -> str:
+        return "eager MSI (MESI minus E), full-map directory"

@@ -1,91 +1,230 @@
-"""Registry of named protocol configurations.
+"""Class-based protocol registry: coherence protocols as plugins.
 
-Maps the configuration names used throughout the paper's evaluation
-(Figures 3-9) to everything the system builder needs to instantiate them.
+Every coherence protocol in this repository is packaged as a
+:class:`Protocol` plugin that bundles together
+
+* a display **name** (the configuration names of the paper's figures) and a
+  family **kind** (``"mesi"``, ``"tsocc"``, ``"msi"`` ...),
+* the **L1/L2 controller classes** plus any per-protocol constructor
+  arguments (e.g. the :class:`~repro.protocols.tsocc.config.TSOCCConfig`),
+* the **storage-overhead model** of Table 1 / Figure 2
+  (:meth:`Protocol.overhead_bits`), and
+* **metadata hooks** the analysis layer keys off (``is_baseline``,
+  ``has_directory``, ``self_invalidates``, ``uses_timestamps``).
+
+Protocol families register themselves with the :func:`register_protocol`
+class decorator; the :class:`~repro.sim.system.System` builder instantiates
+controllers purely through the plugin API and contains no protocol-specific
+branches.  Adding a protocol therefore never touches the system builder, the
+CLI or the experiment matrix — see the "Adding a protocol" section of
+EXPERIMENTS.md (the MSI baseline in :mod:`repro.protocols.msi` is the worked
+example).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, ClassVar, Dict, List, Optional, Sequence, Type
 
-from repro.core.config import (
-    CC_SHARED_TO_L2,
-    TSO_CC_4_12_0,
-    TSO_CC_4_12_3,
-    TSO_CC_4_9_3,
-    TSO_CC_4_BASIC,
-    TSO_CC_4_NORESET,
-    TSOCCConfig,
-)
+#: Protocol families by ``kind`` (one entry per :func:`register_protocol`).
+PROTOCOL_FAMILIES: Dict[str, Type["Protocol"]] = {}
+
+#: Named protocol configurations (every instance returned by the families'
+#: :meth:`Protocol.configurations`), in registration order.
+_REGISTRY: Dict[str, "Protocol"] = {}
+
+#: The configurations evaluated in the paper, in the order of the figures.
+#: (A subset of the full registry: protocols registered with
+#: ``in_paper=False`` — such as the MSI demonstrator — are runnable
+#: everywhere but excluded from the default experiment matrix.)
+PAPER_CONFIGURATIONS: Dict[str, "Protocol"] = {}
 
 
-@dataclass(frozen=True)
-class ProtocolSpec:
-    """A named protocol configuration.
+class Protocol:
+    """Base class for coherence-protocol plugins.
+
+    A *family* (subclass) provides the controller classes and the storage
+    model; an *instance* is one named, runnable configuration of that family
+    (e.g. ``TSO-CC-4-12-3``).  Families with a single configuration (MESI,
+    MSI) are registered as one instance.
+
+    Class attributes (family-level metadata):
 
     Attributes:
-        name: display name (matches the paper's figures).
-        kind: ``"mesi"`` for the eager directory baseline or ``"tsocc"`` for
-            any member of the TSO-CC family (including ``CC-shared-to-L2``).
-        tsocc: the :class:`TSOCCConfig` for ``kind == "tsocc"``.
+        kind: short family slug; unique across registered families.
+        is_baseline: ``True`` for the paper's baseline (MESI).
+        has_directory: the L2 embeds a sharer-tracking directory whose
+            storage grows with the core count.
+        self_invalidates: the L1 self-invalidates Shared lines (lazy
+            coherence); figures 7/9 only apply to such protocols.
+        in_paper: include this configuration in ``PAPER_CONFIGURATIONS``
+            (and therefore in the default experiment matrix).
+        l1_controller_cls / l2_controller_cls: concrete controller classes
+            built by :meth:`make_l1_controller` / :meth:`make_l2_controller`.
     """
 
-    name: str
-    kind: str
-    tsocc: Optional[TSOCCConfig] = None
+    kind: ClassVar[str] = ""
+    is_baseline: ClassVar[bool] = False
+    has_directory: ClassVar[bool] = False
+    self_invalidates: ClassVar[bool] = False
+    in_paper: ClassVar[bool] = True
+    l1_controller_cls: ClassVar[Optional[type]] = None
+    l2_controller_cls: ClassVar[Optional[type]] = None
 
-    def __post_init__(self) -> None:
-        if self.kind not in ("mesi", "tsocc"):
-            raise ValueError(f"unknown protocol kind {self.kind!r}")
-        if self.kind == "tsocc" and self.tsocc is None:
-            raise ValueError("tsocc protocol spec requires a TSOCCConfig")
+    #: Per-protocol configuration object (``None`` for config-less families).
+    config: Optional[Any] = None
 
     @property
-    def is_baseline(self) -> bool:
-        """``True`` for the MESI baseline."""
-        return self.kind == "mesi"
+    def name(self) -> str:
+        """Display name of this configuration (defaults to the config's
+        ``name`` attribute, else the family kind in upper case)."""
+        if self.config is not None and getattr(self.config, "name", None):
+            return self.config.name
+        return self.kind.upper()
+
+    @property
+    def uses_timestamps(self) -> bool:
+        """Whether this configuration carries coherence timestamps."""
+        return bool(self.config is not None
+                    and getattr(self.config, "use_timestamps", False))
+
+    # -- construction hooks ---------------------------------------------------
+
+    @classmethod
+    def configurations(cls) -> Sequence["Protocol"]:
+        """Instances to register when the family is registered.  Default:
+        one argument-less instance."""
+        return (cls(),)
+
+    def l1_extra_args(self, system_config) -> Dict[str, Any]:
+        """Protocol-specific constructor kwargs for the L1 controller."""
+        return {}
+
+    def l2_extra_args(self, system_config) -> Dict[str, Any]:
+        """Protocol-specific constructor kwargs for the L2 controller."""
+        return {}
+
+    def make_l1_controller(self, system_config, **common):
+        """Build one private-cache controller (called by ``System``)."""
+        if self.l1_controller_cls is None:
+            raise NotImplementedError(f"{self.name}: no L1 controller class")
+        return self.l1_controller_cls(**common,
+                                      **self.l1_extra_args(system_config))
+
+    def make_l2_controller(self, system_config, **common):
+        """Build one shared-cache tile controller (called by ``System``)."""
+        if self.l2_controller_cls is None:
+            raise NotImplementedError(f"{self.name}: no L2 controller class")
+        return self.l2_controller_cls(**common,
+                                      **self.l2_extra_args(system_config))
+
+    # -- storage model --------------------------------------------------------
+
+    def overhead_bits(self, system_config) -> int:
+        """Total coherence storage (bits) on the given platform (Table 1 /
+        Figure 2); implemented by each family."""
+        raise NotImplementedError
+
+    # -- presentation ---------------------------------------------------------
+
+    def config_summary(self) -> str:
+        """One-line summary of the per-protocol configuration."""
+        if self.config is not None and hasattr(self.config, "describe"):
+            return self.config.describe()
+        return "-"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Protocol {self.name} kind={self.kind}>"
 
 
-#: Every configuration evaluated in the paper, in the order of the figures.
-PAPER_CONFIGURATIONS: Dict[str, ProtocolSpec] = {
-    "MESI": ProtocolSpec(name="MESI", kind="mesi"),
-    "CC-shared-to-L2": ProtocolSpec(name="CC-shared-to-L2", kind="tsocc",
-                                    tsocc=CC_SHARED_TO_L2),
-    "TSO-CC-4-basic": ProtocolSpec(name="TSO-CC-4-basic", kind="tsocc",
-                                   tsocc=TSO_CC_4_BASIC),
-    "TSO-CC-4-noreset": ProtocolSpec(name="TSO-CC-4-noreset", kind="tsocc",
-                                     tsocc=TSO_CC_4_NORESET),
-    "TSO-CC-4-12-3": ProtocolSpec(name="TSO-CC-4-12-3", kind="tsocc",
-                                  tsocc=TSO_CC_4_12_3),
-    "TSO-CC-4-12-0": ProtocolSpec(name="TSO-CC-4-12-0", kind="tsocc",
-                                  tsocc=TSO_CC_4_12_0),
-    "TSO-CC-4-9-3": ProtocolSpec(name="TSO-CC-4-9-3", kind="tsocc",
-                                 tsocc=TSO_CC_4_9_3),
-}
+def register_protocol(cls: Type[Protocol]) -> Type[Protocol]:
+    """Class decorator: register a protocol family and its configurations.
+
+    Raises:
+        ValueError: on a duplicate family ``kind`` or configuration name.
+    """
+    if not cls.kind:
+        raise ValueError(f"{cls.__name__} must define a non-empty 'kind'")
+    if cls.kind in PROTOCOL_FAMILIES:
+        raise ValueError(f"protocol kind {cls.kind!r} is already registered")
+    # Validate every configuration name before mutating anything, so a
+    # clashing family leaves the registry untouched and can be re-registered
+    # after the fix.
+    configurations = list(cls.configurations())
+    names = [protocol.name for protocol in configurations]
+    clashes = [name for name in names if name in _REGISTRY]
+    if clashes or len(set(names)) != len(names):
+        raise ValueError(
+            f"protocol kind {cls.kind!r} declares clashing configuration "
+            f"names: {clashes or names}"
+        )
+    PROTOCOL_FAMILIES[cls.kind] = cls
+    for protocol in configurations:
+        register_configuration(protocol)
+    return cls
+
+
+def register_configuration(protocol: Protocol) -> Protocol:
+    """Register one named protocol configuration.
+
+    Raises:
+        ValueError: if the name is already taken.
+    """
+    if protocol.name in _REGISTRY:
+        raise ValueError(f"protocol {protocol.name!r} is already registered")
+    _REGISTRY[protocol.name] = protocol
+    if protocol.in_paper:
+        PAPER_CONFIGURATIONS[protocol.name] = protocol
+    return protocol
+
+
+def unregister_configuration(name: str) -> None:
+    """Remove a named configuration (used by tests registering throwaway
+    protocols; the family entry, if any, is left in place)."""
+    _REGISTRY.pop(name, None)
+    PAPER_CONFIGURATIONS.pop(name, None)
+
+
+def registered_protocols() -> List[Protocol]:
+    """Every registered protocol configuration, in registration order."""
+    return list(_REGISTRY.values())
 
 
 def list_protocol_names() -> List[str]:
-    """Names of every registered protocol configuration, in figure order."""
-    return list(PAPER_CONFIGURATIONS)
+    """Names of every registered protocol configuration."""
+    return list(_REGISTRY)
 
 
-def get_protocol_spec(name_or_spec) -> ProtocolSpec:
-    """Resolve a protocol given by name, :class:`ProtocolSpec` or
-    :class:`TSOCCConfig` into a :class:`ProtocolSpec`.
+def get_protocol(name_or_protocol) -> Protocol:
+    """Resolve a protocol given by name, :class:`Protocol` instance or
+    :class:`~repro.protocols.tsocc.config.TSOCCConfig` into a plugin.
 
     Raises:
         KeyError: for an unknown configuration name.
+        TypeError: for an unsupported argument type.
     """
-    if isinstance(name_or_spec, ProtocolSpec):
-        return name_or_spec
-    if isinstance(name_or_spec, TSOCCConfig):
-        return ProtocolSpec(name=name_or_spec.name, kind="tsocc", tsocc=name_or_spec)
-    if isinstance(name_or_spec, str):
-        if name_or_spec not in PAPER_CONFIGURATIONS:
+    if isinstance(name_or_protocol, Protocol):
+        return name_or_protocol
+    if isinstance(name_or_protocol, str):
+        if name_or_protocol not in _REGISTRY:
             raise KeyError(
-                f"unknown protocol {name_or_spec!r}; "
-                f"known: {', '.join(PAPER_CONFIGURATIONS)}"
+                f"unknown protocol {name_or_protocol!r}; "
+                f"known: {', '.join(_REGISTRY)}"
             )
-        return PAPER_CONFIGURATIONS[name_or_spec]
-    raise TypeError(f"cannot resolve protocol from {name_or_spec!r}")
+        return _REGISTRY[name_or_protocol]
+    # Ad-hoc TSO-CC configurations (tests build narrow-timestamp variants on
+    # the fly) resolve to an unregistered instance of the tsocc family.
+    from repro.protocols.tsocc.config import TSOCCConfig
+
+    if isinstance(name_or_protocol, TSOCCConfig):
+        return PROTOCOL_FAMILIES["tsocc"](name_or_protocol)
+    raise TypeError(f"cannot resolve protocol from {name_or_protocol!r}")
+
+
+#: Deprecated aliases from the pre-plugin registry (PR 2 refactor).  The
+#: resolved object is now a :class:`Protocol` plugin rather than a frozen
+#: spec; it exposes the same read surface (``name`` / ``kind`` /
+#: ``is_baseline`` / ``tsocc``) and works for ``isinstance`` checks, but the
+#: old ``ProtocolSpec(name=..., kind=..., tsocc=...)`` constructor is gone —
+#: resolve through :func:`get_protocol` or instantiate a family class.
+ProtocolSpec = Protocol
+get_protocol_spec = get_protocol

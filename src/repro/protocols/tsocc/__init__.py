@@ -1,0 +1,64 @@
+"""TSO-CC: the paper's primary contribution.
+
+This package implements the lazy, consistency-directed coherence protocol for
+TSO described in §3 of the paper, including every optimization evaluated:
+
+* the **basic protocol** (§3.2): untracked Shared lines, bounded Shared read
+  hits via a per-line access counter, write propagation through the shared
+  L2 in program order, and self-invalidation of Shared lines on L2 data
+  responses from other writers;
+* **transitive reduction with timestamps** (§3.3, opt. 1): per-core write
+  timestamps, write-grouping, and last-seen timestamp tables used to skip
+  provably unnecessary self-invalidations;
+* **shared read-only lines** (§3.4, opt. 2): the SharedRO state, decay of
+  Shared lines, L2-sourced timestamps for SharedRO data, and eager
+  (broadcast) invalidation on the rare writes to SharedRO lines;
+* **finite timestamps** (§3.5): timestamp resets, epoch-ids, reset
+  broadcasts, and the L2-side clamping of stale timestamps;
+* **atomics and fences** (§3.6).
+
+The storage-overhead model of Table 1 / Figure 2 lives in
+:mod:`repro.protocols.tsocc.storage`; the registered plugin in
+:mod:`repro.protocols.tsocc.protocol`.
+
+(Until PR 2 this package lived at ``repro.core``; a deprecation shim keeps
+those imports working.)
+"""
+
+from repro.protocols.tsocc.config import (
+    CC_SHARED_TO_L2,
+    PAPER_TSOCC_CONFIGS,
+    TSO_CC_4_12_0,
+    TSO_CC_4_12_3,
+    TSO_CC_4_9_3,
+    TSO_CC_4_BASIC,
+    TSO_CC_4_NORESET,
+    TSOCCConfig,
+)
+from repro.protocols.tsocc.l1_controller import TSOCCL1Controller
+from repro.protocols.tsocc.l2_controller import TSOCCL2Controller
+from repro.protocols.tsocc.protocol import TSOCCProtocol
+from repro.protocols.tsocc.states import TSOCCL1State, TSOCCL2State
+from repro.protocols.tsocc.storage import tsocc_overhead_bits, tsocc_table1_breakdown
+from repro.protocols.tsocc.timestamps import EpochTable, TimestampSource, TimestampTable
+
+__all__ = [
+    "TSOCCConfig",
+    "CC_SHARED_TO_L2",
+    "TSO_CC_4_BASIC",
+    "TSO_CC_4_NORESET",
+    "TSO_CC_4_12_3",
+    "TSO_CC_4_12_0",
+    "TSO_CC_4_9_3",
+    "PAPER_TSOCC_CONFIGS",
+    "TSOCCL1State",
+    "TSOCCL2State",
+    "TSOCCL1Controller",
+    "TSOCCL2Controller",
+    "TSOCCProtocol",
+    "TimestampSource",
+    "TimestampTable",
+    "EpochTable",
+    "tsocc_overhead_bits",
+    "tsocc_table1_breakdown",
+]

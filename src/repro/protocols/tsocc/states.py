@@ -1,0 +1,49 @@
+"""TSO-CC protocol states.
+
+As with the MESI implementation, transient behaviour is represented by the
+pending-transaction (L1) and blocked-line (L2) machinery of
+:mod:`repro.protocols.base`; the enums here are the stable states of §3.2 and
+§3.4 of the paper.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class TSOCCL1State(Enum):
+    """Stable states of a line in a private L1 cache under TSO-CC."""
+
+    SHARED = "S"          # untracked shared copy; hits bounded by the access counter
+    SHARED_RO = "SRO"     # shared read-only copy (§3.4); never self-invalidated
+    EXCLUSIVE = "E"       # private, clean
+    MODIFIED = "M"        # private, dirty
+
+    @property
+    def is_private(self) -> bool:
+        """``True`` for Exclusive/Modified (the core may write silently)."""
+        return self in (TSOCCL1State.EXCLUSIVE, TSOCCL1State.MODIFIED)
+
+    @property
+    def category(self) -> str:
+        """Statistics category: ``"shared"``, ``"shared_ro"`` or ``"private"``."""
+        if self is TSOCCL1State.SHARED:
+            return "shared"
+        if self is TSOCCL1State.SHARED_RO:
+            return "shared_ro"
+        return "private"
+
+
+class TSOCCL2State(Enum):
+    """Stable states of a line in the shared L2 under TSO-CC.
+
+    ``b.owner`` (the :attr:`repro.memsys.cacheline.CacheLine.owner` field) is
+    interpreted per state exactly as in Table 1 of the paper: the owner
+    pointer for ``EXCLUSIVE`` lines, the last writer for ``SHARED`` lines and
+    (via ``CacheLine.sharers``) the coarse sharer groups for ``SHARED_RO``.
+    """
+
+    UNCACHED = "U"        # valid in L2, no (tracked) L1 copies
+    EXCLUSIVE = "E"       # a single L1 owner (tracked via the owner pointer)
+    SHARED = "S"          # untracked L1 copies may exist
+    SHARED_RO = "SRO"     # shared read-only; coarse sharer groups tracked

@@ -1,0 +1,106 @@
+"""TSO-CC storage inventory (Table 1 of the paper).
+
+The formula behind
+:meth:`repro.protocols.tsocc.protocol.TSOCCProtocol.overhead_bits`; the
+cross-protocol :class:`~repro.protocols.storage.StorageModel` calculator
+queries it through the plugin API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.protocols.storage import log2_ceil
+from repro.protocols.tsocc.config import TSOCCConfig
+from repro.sim.config import SystemConfig
+
+
+def _effective_ts_bits(config: TSOCCConfig) -> int:
+    """Accounted timestamp width: the configured ``Bts``, or — for the
+    "noreset" idealisation — a 31-bit timestamp as the simulator models it
+    (footnote 3 of the paper)."""
+    if not config.use_timestamps:
+        return 0
+    return config.ts_bits if config.ts_bits is not None else 31
+
+
+def tsocc_overhead_bits(system: SystemConfig, config: TSOCCConfig) -> int:
+    """Total coherence storage (bits) of a TSO-CC configuration.
+
+    Implements the inventory of Table 1 of the paper:
+
+    L1, per node: current timestamp, write-group counter, current epoch-id,
+    timestamp table ``ts_L1`` (up to one entry per core), epoch-ids for every
+    core, and — with the SharedRO optimization — timestamp table ``ts_L2``
+    and epoch-ids for every L2 tile.
+
+    L1, per line: access counter ``b.acnt`` and timestamp ``b.ts``.
+
+    L2, per tile: last-seen timestamp table and epoch-ids for every core,
+    plus (SharedRO) current timestamp, epoch-id and increment flags.
+
+    L2, per line: timestamp ``b.ts`` and the ``b.owner`` field
+    (``log2(cores)`` bits), plus 2 bits of state.
+    """
+    cores = system.num_cores
+    tiles = system.effective_l2_tiles
+    ts_bits = _effective_ts_bits(config)
+    acc_bits = config.max_acc_bits
+    epoch_bits = config.epoch_bits if config.use_timestamps else 0
+    group_bits = config.write_group_bits if config.use_timestamps else 0
+    owner_bits = log2_ceil(cores)
+    state_bits = 2
+
+    ts_table_entries = config.ts_table_entries or cores
+
+    # -- L1 per node ---------------------------------------------------------
+    l1_per_node = 0
+    if config.use_timestamps:
+        l1_per_node += ts_bits                      # current timestamp
+        l1_per_node += group_bits                   # write-group counter
+        l1_per_node += epoch_bits                   # current epoch-id
+        l1_per_node += ts_table_entries * ts_bits   # ts_L1 table
+        l1_per_node += cores * epoch_bits           # epoch_ids_L1
+        if config.use_shared_ro and config.sro_uses_l2_timestamps:
+            l1_per_node += tiles * ts_bits          # ts_L2 table
+            l1_per_node += tiles * epoch_bits       # epoch_ids_L2
+
+    # -- L1 per line ---------------------------------------------------------
+    l1_per_line = acc_bits + (ts_bits if config.use_timestamps else 0) + state_bits
+
+    # -- L2 per tile ---------------------------------------------------------
+    l2_per_tile = 0
+    if config.use_timestamps:
+        l2_per_tile += cores * ts_bits              # last-seen ts_L1 table
+        l2_per_tile += cores * epoch_bits           # epoch_ids_L1
+        if config.use_shared_ro and config.sro_uses_l2_timestamps:
+            l2_per_tile += ts_bits + epoch_bits + 2  # tile ts, epoch, flags
+
+    # -- L2 per line ---------------------------------------------------------
+    l2_per_line = owner_bits + state_bits + (ts_bits if config.use_timestamps else 0)
+
+    total = cores * l1_per_node
+    total += cores * system.l1_lines * l1_per_line
+    total += tiles * l2_per_tile
+    total += system.total_l2_lines * l2_per_line
+    return total
+
+
+def tsocc_table1_breakdown(system: SystemConfig, config: TSOCCConfig) -> Dict[str, float]:
+    """Per-component breakdown (bits) mirroring Table 1."""
+    cores = system.num_cores
+    tiles = system.effective_l2_tiles
+    total = tsocc_overhead_bits(system, config)
+    ts_bits = _effective_ts_bits(config)
+    l1_line_bits = config.max_acc_bits + ts_bits + 2
+    l2_line_bits = log2_ceil(cores) + 2 + ts_bits
+    return {
+        "total_bits": float(total),
+        "l1_per_line_bits": float(l1_line_bits),
+        "l2_per_line_bits": float(l2_line_bits),
+        "l1_lines_per_core": float(system.l1_lines),
+        "l2_lines_total": float(system.total_l2_lines),
+        "num_cores": float(cores),
+        "num_l2_tiles": float(tiles),
+        "total_mbytes": total / 8 / (1024 * 1024),
+    }

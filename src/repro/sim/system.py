@@ -26,9 +26,10 @@ from repro.sim.config import SystemConfig
 from repro.sim.simulator import DeadlockError, Simulator
 from repro.sim.stats import CoreStats, L1Stats, L2Stats, SystemStats
 
-# The protocol controller classes and the registry are imported lazily inside
-# System to keep this module free of circular imports (the controllers build
-# on repro.protocols.base, which in turn uses the simulation engine).
+# Controllers are built purely through the protocol plugin API
+# (repro.protocols.registry); the registry is imported lazily inside
+# build_system to keep this module free of circular imports (the controllers
+# build on repro.protocols.base, which in turn uses the simulation engine).
 
 
 @dataclass
@@ -60,7 +61,7 @@ class System:
     calls, so build a fresh system for every measurement).
     """
 
-    def __init__(self, config: SystemConfig, protocol: "ProtocolSpec") -> None:
+    def __init__(self, config: SystemConfig, protocol: "Protocol") -> None:
         self.config = config
         self.protocol = protocol
         self.sim = Simulator()
@@ -96,9 +97,6 @@ class System:
     # ------------------------------------------------------------------ construction
 
     def _build_l1(self, core_id: int):
-        from repro.core.l1_controller import TSOCCL1Controller
-        from repro.protocols.mesi.l1_controller import MESIL1Controller
-
         cache = CacheArray(
             size_bytes=self.config.l1_size_bytes,
             assoc=self.config.l1_assoc,
@@ -106,7 +104,8 @@ class System:
             replacement=self.config.replacement_policy,
             name=f"L1[{core_id}]",
         )
-        common = dict(
+        return self.protocol.make_l1_controller(
+            self.config,
             core_id=core_id,
             sim=self.sim,
             network=self.network,
@@ -116,19 +115,8 @@ class System:
             stats=self.l1_stats[core_id],
             hit_latency=self.config.l1_hit_latency,
         )
-        if self.protocol.kind == "mesi":
-            return MESIL1Controller(**common)
-        return TSOCCL1Controller(
-            protocol_config=self.protocol.tsocc,
-            num_cores=self.config.num_cores,
-            num_l2_tiles=self.config.effective_l2_tiles,
-            **common,
-        )
 
     def _build_l2(self, tile_id: int):
-        from repro.core.l2_controller import TSOCCL2Controller
-        from repro.protocols.mesi.l2_controller import MESIL2Controller
-
         cache = CacheArray(
             size_bytes=self.config.l2_tile_size_bytes,
             assoc=self.config.l2_assoc,
@@ -136,7 +124,8 @@ class System:
             replacement=self.config.replacement_policy,
             name=f"L2[{tile_id}]",
         )
-        common = dict(
+        return self.protocol.make_l2_controller(
+            self.config,
             tile_id=tile_id,
             sim=self.sim,
             network=self.network,
@@ -146,13 +135,6 @@ class System:
             memory=self.memory,
             stats=self.l2_stats[tile_id],
             access_latency=self.config.l2_access_latency,
-        )
-        if self.protocol.kind == "mesi":
-            return MESIL2Controller(**common)
-        return TSOCCL2Controller(
-            protocol_config=self.protocol.tsocc,
-            num_cores=self.config.num_cores,
-            **common,
         )
 
     # ------------------------------------------------------------------ running
@@ -246,9 +228,10 @@ class System:
 
 
 def build_system(config: SystemConfig, protocol) -> System:
-    """Build a :class:`System` for ``protocol`` (a name such as
-    ``"TSO-CC-4-12-3"``, a :class:`~repro.protocols.registry.ProtocolSpec`,
-    or a :class:`~repro.core.config.TSOCCConfig`)."""
-    from repro.protocols.registry import get_protocol_spec
+    """Build a :class:`System` for ``protocol`` (a registered name such as
+    ``"TSO-CC-4-12-3"`` or ``"MSI"``, a
+    :class:`~repro.protocols.registry.Protocol` plugin, or an ad-hoc
+    :class:`~repro.protocols.tsocc.config.TSOCCConfig`)."""
+    from repro.protocols.registry import get_protocol
 
-    return System(config=config, protocol=get_protocol_spec(protocol))
+    return System(config=config, protocol=get_protocol(protocol))

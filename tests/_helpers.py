@@ -12,7 +12,8 @@ from __future__ import annotations
 from repro.sim.config import SystemConfig
 from repro.sim.system import build_system
 
-#: Every protocol configuration evaluated in the paper.
+#: Every registered protocol configuration: the seven of the paper plus the
+#: MSI plugin demonstrator.
 ALL_PROTOCOLS = (
     "MESI",
     "CC-shared-to-L2",
@@ -21,6 +22,7 @@ ALL_PROTOCOLS = (
     "TSO-CC-4-12-3",
     "TSO-CC-4-12-0",
     "TSO-CC-4-9-3",
+    "MSI",
 )
 
 #: A fast representative subset used by the heavier integration tests.

@@ -12,6 +12,29 @@ def test_list_command(capsys):
     assert "blackscholes" in out and "STAMP" in out
 
 
+def test_protocols_command(capsys):
+    assert main(["protocols"]) == 0
+    out = capsys.readouterr().out
+    assert "MESI" in out and "TSO-CC-4-12-3" in out and "MSI" in out
+    assert "storage_bits" in out and "kind" in out
+
+
+def test_protocols_command_scales_storage_with_cores(capsys):
+    assert main(["protocols", "--cores", "8"]) == 0
+    small = capsys.readouterr().out
+    assert main(["protocols", "--cores", "128"]) == 0
+    large = capsys.readouterr().out
+    assert small != large and "128 cores" in large
+
+
+def test_run_command_accepts_msi(capsys):
+    code = main(["run", "fft", "--protocol", "MSI", "--cores", "2",
+                 "--scale", "0.2", "--no-cache"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "MSI" in out and "cycles" in out
+
+
 def test_run_command_small(capsys):
     code = main(["run", "fft", "--protocol", "MESI", "--protocol", "TSO-CC-4-12-3",
                  "--cores", "4", "--scale", "0.2"])

@@ -131,7 +131,7 @@ def test_history_recorder_groups_by_address():
 
 # ------------------------------------------------------------------ runner (simulator in the loop)
 
-@pytest.mark.parametrize("protocol", ["MESI", "TSO-CC-4-12-3"])
+@pytest.mark.parametrize("protocol", ["MESI", "MSI", "TSO-CC-4-12-3"])
 def test_mp_litmus_never_shows_forbidden_outcome(protocol):
     result = run_litmus_on_simulator(_test_by_name("MP"), protocol=protocol,
                                      iterations=6, seed=11)

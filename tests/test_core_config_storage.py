@@ -3,7 +3,7 @@ Table 1 / Figure 2 storage model."""
 
 import pytest
 
-from repro.core.config import (
+from repro.protocols.tsocc.config import (
     CC_SHARED_TO_L2,
     PAPER_TSOCC_CONFIGS,
     TSO_CC_4_12_0,
@@ -13,12 +13,15 @@ from repro.core.config import (
     TSO_CC_4_NORESET,
     TSOCCConfig,
 )
-from repro.core.storage import StorageModel, mesi_overhead_bits, tsocc_overhead_bits
 from repro.protocols.registry import (
     PAPER_CONFIGURATIONS,
-    ProtocolSpec,
-    get_protocol_spec,
+    get_protocol,
     list_protocol_names,
+)
+from repro.protocols.storage import (
+    StorageModel,
+    mesi_overhead_bits,
+    tsocc_overhead_bits,
 )
 from repro.sim.config import SystemConfig
 
@@ -65,28 +68,27 @@ def test_describe_and_with_name():
 
 # ------------------------------------------------------------------ registry
 
-def test_registry_contains_all_seven_configurations():
-    assert list_protocol_names() == [
+def test_registry_paper_configurations_in_figure_order():
+    assert list(PAPER_CONFIGURATIONS) == [
         "MESI", "CC-shared-to-L2", "TSO-CC-4-basic", "TSO-CC-4-noreset",
         "TSO-CC-4-12-3", "TSO-CC-4-12-0", "TSO-CC-4-9-3",
     ]
+    # The full registry adds the non-paper MSI demonstrator.
+    assert list_protocol_names() == list(PAPER_CONFIGURATIONS) + ["MSI"]
     assert PAPER_CONFIGURATIONS["MESI"].is_baseline
     assert not PAPER_CONFIGURATIONS["TSO-CC-4-12-3"].is_baseline
 
 
-def test_get_protocol_spec_accepts_names_specs_and_configs():
-    assert get_protocol_spec("MESI").kind == "mesi"
-    spec = get_protocol_spec(TSO_CC_4_12_3)
-    assert spec.kind == "tsocc" and spec.tsocc is TSO_CC_4_12_3
-    assert get_protocol_spec(spec) is spec
+def test_get_protocol_accepts_names_plugins_and_configs():
+    assert get_protocol("MESI").kind == "mesi"
+    protocol = get_protocol(TSO_CC_4_12_3)
+    assert protocol.kind == "tsocc" and protocol.config is TSO_CC_4_12_3
+    assert protocol.tsocc is TSO_CC_4_12_3          # deprecated alias
+    assert get_protocol(protocol) is protocol
     with pytest.raises(KeyError):
-        get_protocol_spec("MOESI")
+        get_protocol("MOESI")
     with pytest.raises(TypeError):
-        get_protocol_spec(42)
-    with pytest.raises(ValueError):
-        ProtocolSpec(name="x", kind="tsocc")          # missing config
-    with pytest.raises(ValueError):
-        ProtocolSpec(name="x", kind="snooping")
+        get_protocol(42)
 
 
 # ------------------------------------------------------------------ storage model
@@ -146,3 +148,9 @@ def test_table1_breakdown_fields():
     assert breakdown["l1_per_line_bits"] == 4 + 12 + 2
     assert breakdown["num_cores"] == 32
     assert breakdown["total_mbytes"] > 0
+
+
+def test_table1_breakdown_rejects_non_tsocc_protocols():
+    model = StorageModel(SystemConfig())
+    with pytest.raises(TypeError):
+        model.table1_breakdown("MESI")

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.timestamps import (
+from repro.protocols.tsocc.timestamps import (
     SMALLEST_VALID_TIMESTAMP,
     EpochTable,
     TimestampSource,

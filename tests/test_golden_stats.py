@@ -1,0 +1,49 @@
+"""Golden-stats differential test: the protocol-framework refactor must be
+timing-neutral.
+
+The JSON files under ``tests/goldens/`` are ``SystemStats.to_dict()``
+payloads captured from the pre-refactor (PR 1) simulator for fixed-seed
+workloads under MESI and TSO-CC-4-12-3.  The current code must reproduce
+them byte-identically; this is what allows ``CACHE_SCHEMA_VERSION`` to stay
+unbumped across the refactor.
+
+If one of these tests fails after an *intentional* timing/protocol change:
+regenerate the goldens (run the same build/run/to_dict recipe and overwrite
+the JSON) and bump ``CACHE_SCHEMA_VERSION`` in ``repro/analysis/parallel.py``
+so cached figure results are invalidated too.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.system import build_system
+from repro.workloads.benchmarks import make_benchmark
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+CASES = [
+    ("MESI", "fft", 0.5, "mesi_fft.json"),
+    ("MESI", "intruder", 0.4, "mesi_intruder.json"),
+    ("TSO-CC-4-12-3", "fft", 0.5, "tso_cc_4_12_3_fft.json"),
+    ("TSO-CC-4-12-3", "intruder", 0.4, "tso_cc_4_12_3_intruder.json"),
+]
+
+
+@pytest.mark.parametrize("protocol,workload_name,scale,golden", CASES)
+def test_stats_match_pre_refactor_golden(protocol, workload_name, scale, golden):
+    config = SystemConfig().scaled(num_cores=4)
+    workload = make_benchmark(workload_name, num_cores=4, scale=scale)
+    system = build_system(config, protocol)
+    result = system.run(workload.programs, params=workload.params,
+                        max_cycles=50_000_000, workload_name=workload.name)
+    assert workload.validate(result)
+    payload = result.stats.to_dict()
+    expected = json.loads((GOLDEN_DIR / golden).read_text(encoding="utf-8"))
+    # Byte-identical via the canonical JSON encoding both sides round-trip.
+    assert json.dumps(payload, sort_keys=True) == json.dumps(expected, sort_keys=True), (
+        f"{protocol}/{workload_name}: stats diverged from the pre-refactor "
+        f"golden — timing is no longer neutral (see module docstring)"
+    )

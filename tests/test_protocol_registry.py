@@ -1,0 +1,194 @@
+"""Tests for the class-based protocol registry and the plugin API.
+
+The acceptance property of the PR 2 refactor: controllers, configs and
+storage models resolve only through the registry, and a new protocol
+registered through the plugin API builds and runs with zero changes to the
+system builder.
+"""
+
+import pytest
+
+from repro.protocols.mesi import MESIL1Controller, MESIL2Controller, MESIProtocol
+from repro.protocols.msi import MSIL1Controller, MSIL1State, MSIL2Controller
+from repro.protocols.registry import (
+    PAPER_CONFIGURATIONS,
+    Protocol,
+    get_protocol,
+    register_configuration,
+    register_protocol,
+    registered_protocols,
+    unregister_configuration,
+)
+from repro.protocols.tsocc import TSOCCL1Controller, TSOCCL2Controller
+from repro.sim.config import SystemConfig
+from repro.sim.system import build_system
+from repro.workloads.synthetic import producer_consumer
+
+from _helpers import make_tiny_config, run_workload
+
+
+# ------------------------------------------------------------------ metadata
+
+def test_plugin_metadata_flags():
+    mesi = get_protocol("MESI")
+    tsocc = get_protocol("TSO-CC-4-12-3")
+    msi = get_protocol("MSI")
+    assert mesi.is_baseline and mesi.has_directory and not mesi.self_invalidates
+    assert not tsocc.is_baseline and tsocc.self_invalidates
+    assert tsocc.uses_timestamps
+    assert not get_protocol("TSO-CC-4-basic").uses_timestamps
+    assert msi.has_directory and not msi.in_paper and not msi.is_baseline
+
+
+def test_storage_model_is_a_plugin_method():
+    system = SystemConfig()
+    for protocol in registered_protocols():
+        assert protocol.overhead_bits(system) > 0
+    # MSI tracks exactly what MESI tracks (grant policy differs, not the
+    # directory), so the storage inventories coincide.
+    assert (get_protocol("MSI").overhead_bits(system)
+            == get_protocol("MESI").overhead_bits(system))
+    # TSO-CC's headline result: far cheaper than the sharing vector.
+    assert (get_protocol("TSO-CC-4-12-3").overhead_bits(system)
+            < get_protocol("MESI").overhead_bits(system))
+
+
+def test_config_summaries_are_one_liners():
+    for protocol in registered_protocols():
+        summary = protocol.config_summary()
+        assert summary and "\n" not in summary
+
+
+# ------------------------------------------------------------------ controller resolution
+
+@pytest.mark.parametrize("name,l1_cls,l2_cls", [
+    ("MESI", MESIL1Controller, MESIL2Controller),
+    ("MSI", MSIL1Controller, MSIL2Controller),
+    ("TSO-CC-4-12-3", TSOCCL1Controller, TSOCCL2Controller),
+])
+def test_system_builds_controllers_through_plugins(name, l1_cls, l2_cls):
+    system = build_system(make_tiny_config(), name)
+    assert all(type(l1) is l1_cls for l1 in system.l1_controllers)
+    assert all(type(l2) is l2_cls for l2 in system.l2_controllers)
+
+
+# ------------------------------------------------------------------ registration rules
+
+def test_duplicate_family_kind_rejected():
+    with pytest.raises(ValueError):
+        @register_protocol
+        class DuplicateMESI(Protocol):  # noqa: F811 - intentionally unused
+            kind = "mesi"
+
+
+def test_duplicate_configuration_name_rejected():
+    with pytest.raises(ValueError):
+        register_configuration(MESIProtocol())
+
+
+def test_family_without_kind_rejected():
+    with pytest.raises(ValueError):
+        @register_protocol
+        class Nameless(Protocol):
+            kind = ""
+
+
+def test_failed_family_registration_leaves_registry_untouched():
+    """A family whose configurations clash with registered names must not
+    leave a half-registered family behind (it could never be re-registered
+    after the fix otherwise)."""
+    from repro.protocols.registry import PROTOCOL_FAMILIES
+
+    class ClashingFamily(Protocol):
+        kind = "clashing"
+
+        @property
+        def name(self):
+            return "MESI"                 # collides with the bundled plugin
+
+    with pytest.raises(ValueError):
+        register_protocol(ClashingFamily)
+    assert "clashing" not in PROTOCOL_FAMILIES
+    with pytest.raises(KeyError):
+        get_protocol("clashing")
+
+
+# ------------------------------------------------------------------ extensibility proof
+
+def test_new_protocol_registers_and_runs_without_touching_the_builder():
+    """A throwaway protocol family defined here — outside the repro
+    package — must be buildable and runnable purely via registration."""
+
+    class VerboseMSIProtocol(Protocol):
+        kind = "msi-verbose"
+        has_directory = True
+        in_paper = False
+        l1_controller_cls = MSIL1Controller
+        l2_controller_cls = MSIL2Controller
+
+        @property
+        def name(self):
+            return "MSI-verbose"
+
+        def overhead_bits(self, system_config):
+            return get_protocol("MSI").overhead_bits(system_config)
+
+    register_configuration(VerboseMSIProtocol())
+    try:
+        assert "MSI-verbose" in [p.name for p in registered_protocols()]
+        assert "MSI-verbose" not in PAPER_CONFIGURATIONS
+        workload = producer_consumer(num_cores=2, items=8)
+        result = run_workload(workload, "MSI-verbose", make_tiny_config())
+        assert result.finished
+        assert result.stats.protocol == "MSI-verbose"
+    finally:
+        unregister_configuration("MSI-verbose")
+
+
+# ------------------------------------------------------------------ MSI behaviour
+
+def test_msi_never_grants_exclusive():
+    """The defining difference from MESI: no L1 line is ever clean-private,
+    and no DataExclusive message is ever sent."""
+    from repro.interconnect.message import MessageType
+
+    workload = producer_consumer(num_cores=2, items=16)
+    config = make_tiny_config()
+    system = build_system(config, "MSI")
+    result = system.run(workload.programs, params=workload.params,
+                        max_cycles=50_000_000, workload_name=workload.name)
+    assert workload.validate(result)
+    assert result.stats.network.by_type.get(MessageType.DATA_E, 0) == 0
+    for l1 in system.l1_controllers:
+        for line in l1.cache.lines():
+            assert isinstance(line.state, MSIL1State)
+
+    # ... whereas MESI grants Exclusive for the same workload.
+    workload = producer_consumer(num_cores=2, items=16)
+    mesi_result = run_workload(workload, "MESI", make_tiny_config())
+    assert mesi_result.stats.network.by_type.get(MessageType.DATA_E, 0) > 0
+
+
+def test_msi_reads_are_shared_grants():
+    """Private read-then-write data costs MSI an upgrade that MESI avoids
+    via the E state; read misses must therefore produce shared copies."""
+    from repro.cpu.instruction import Load
+    from repro.workloads.layout import AddressSpace
+    from repro.workloads.trace import Workload
+
+    space = AddressSpace()
+    data = space.array("data", 8)
+
+    def program(ctx):
+        total = 0
+        for i in range(8):
+            total += yield Load(data + i * 64)
+        for i in range(8):                 # second pass: must hit in Shared
+            total += yield Load(data + i * 64)
+        ctx.record("total", total)
+
+    workload = Workload(name="read-twice", programs=[program])
+    result = run_workload(workload, "MSI", make_tiny_config())
+    l1 = result.stats.l1[0]
+    assert l1.read_hits.get("shared", 0) >= 8
+    assert l1.read_hits.get("private", 0) == 0

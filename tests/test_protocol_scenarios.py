@@ -230,7 +230,7 @@ def test_timestamp_reset_broadcast_reaches_every_node():
     write-heavy run; the run must stay correct and the reset broadcasts must
     be visible in the traffic statistics."""
     from dataclasses import replace
-    from repro.core.config import TSO_CC_4_12_3
+    from repro.protocols.tsocc.config import TSO_CC_4_12_3
     from repro.interconnect.message import MessageType
 
     narrow = replace(TSO_CC_4_12_3, name="narrow", ts_bits=4, write_group_bits=0)

@@ -9,7 +9,7 @@ propagate to spinning readers).
 
 import pytest
 
-from repro.core.states import TSOCCL1State, TSOCCL2State
+from repro.protocols.tsocc.states import TSOCCL1State, TSOCCL2State
 from repro.cpu.instruction import Load, Store, Work
 from repro.sim.config import SystemConfig
 from repro.sim.system import build_system
@@ -174,7 +174,7 @@ def test_timestamp_resets_occur_with_narrow_timestamps(small_config):
     """A 2-bit-group, narrow-timestamp configuration must reset during a
     write-heavy run and still produce correct results."""
     from dataclasses import replace
-    from repro.core.config import TSO_CC_4_12_3
+    from repro.protocols.tsocc.config import TSO_CC_4_12_3
 
     narrow = replace(TSO_CC_4_12_3, name="TSO-CC-narrow", ts_bits=4,
                      write_group_bits=0)
