@@ -4,48 +4,19 @@ The paper picked 4 bits (16 consecutive Shared hits) as the sweet spot.
 Larger counters do not consistently help; 0 bits degenerates into the
 CC-shared-to-L2 strawman.  This ablation sweeps the counter width on a
 producer-consumer-heavy workload mix and records execution time and traffic.
+
+A thin declaration over the registered ``access-counter``
+:class:`~repro.analysis.sweeps.SweepSpec`.
 """
-
-from dataclasses import replace
-
-from repro.protocols.tsocc.config import TSO_CC_4_12_3
-from repro.sim.config import SystemConfig
-from repro.sim.system import build_system
-from repro.workloads.benchmarks import make_benchmark
 
 from bench_utils import write_result
 
-WIDTHS = (0, 2, 4, 6)
-WORKLOADS = ("fft", "dedup", "intruder")
 
-
-def _sweep():
-    system_config = SystemConfig().scaled(num_cores=8)
-    rows = []
-    for bits in WIDTHS:
-        config = replace(TSO_CC_4_12_3, name=f"TSO-CC-acc{bits}", max_acc_bits=bits)
-        cycles = flits = 0
-        for name in WORKLOADS:
-            workload = make_benchmark(name, num_cores=8, scale=0.3)
-            system = build_system(system_config, config)
-            result = system.run(workload.programs, params=workload.params,
-                                max_cycles=200_000_000, workload_name=name)
-            assert workload.validate(result)
-            cycles += result.stats.cycles
-            flits += result.stats.total_flits
-        rows.append({"acc_bits": bits, "max_shared_hits": config.max_shared_hits,
-                     "cycles": cycles, "flits": flits})
-    return rows
-
-
-def test_ablation_access_counter(benchmark, results_dir):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
-    lines = ["Ablation — access counter width (Bmaxacc)"]
-    for row in rows:
-        lines.append(f"  {row['acc_bits']} bits ({row['max_shared_hits']:>2d} hits): "
-                     f"cycles={row['cycles']}  flits={row['flits']}")
-    write_result(results_dir, "ablation_access_counter.txt", "\n".join(lines))
-    by_bits = {row["acc_bits"]: row for row in rows}
+def test_ablation_access_counter(benchmark, results_dir, run_sweep):
+    result = benchmark.pedantic(lambda: run_sweep("access-counter"),
+                                rounds=1, iterations=1)
+    write_result(results_dir, "ablation_access_counter.txt", result.tabulate())
+    by = result.by_protocol()
     # Allowing bounded Shared hits must reduce traffic versus no hits at all
     # (the paper's CC-shared-to-L2 versus TSO-CC-4-basic comparison).
-    assert by_bits[4]["flits"] < by_bits[0]["flits"]
+    assert by["TSO-CC-4-12-3"]["flits"] < by["TSO-CC-0-12-3"]["flits"]

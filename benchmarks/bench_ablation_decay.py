@@ -3,51 +3,21 @@
 The paper fixes the decay threshold at 256 writes.  This ablation sweeps the
 threshold on read-mostly workloads and records how many lines decay and how
 the SharedRO hit fraction responds.
+
+A thin declaration over the registered ``decay``
+:class:`~repro.analysis.sweeps.SweepSpec`.
 """
-
-from dataclasses import replace
-
-from repro.protocols.tsocc.config import TSO_CC_4_12_3
-from repro.sim.config import SystemConfig
-from repro.sim.system import build_system
-from repro.workloads.benchmarks import make_benchmark
 
 from bench_utils import write_result
 
-THRESHOLDS = (32, 256, 2048, None)
-WORKLOADS = ("genome", "raytrace")
 
-
-def _sweep():
-    system_config = SystemConfig().scaled(num_cores=8)
-    rows = []
-    for threshold in THRESHOLDS:
-        config = replace(TSO_CC_4_12_3, name=f"TSO-CC-decay{threshold}",
-                         decay_writes=threshold)
-        cycles = decays = sro_hits = 0
-        for name in WORKLOADS:
-            workload = make_benchmark(name, num_cores=8, scale=0.3)
-            system = build_system(system_config, config)
-            result = system.run(workload.programs, params=workload.params,
-                                max_cycles=200_000_000, workload_name=name)
-            assert workload.validate(result)
-            cycles += result.stats.cycles
-            decays += result.stats.aggregate_l2().shared_decays
-            sro_hits += result.stats.aggregate_l1().read_hits.get("shared_ro", 0)
-        rows.append({"decay_writes": threshold, "cycles": cycles,
-                     "shared_decays": decays, "sro_read_hits": sro_hits})
-    return rows
-
-
-def test_ablation_decay_threshold(benchmark, results_dir):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
-    lines = ["Ablation — Shared->SharedRO decay threshold (writes)"]
-    for row in rows:
-        lines.append(f"  decay={str(row['decay_writes']):>5s} cycles={row['cycles']:>9d} "
-                     f"decays={row['shared_decays']:>6d} SRO-read-hits={row['sro_read_hits']:>7d}")
-    write_result(results_dir, "ablation_decay.txt", "\n".join(lines))
-    by_threshold = {row["decay_writes"]: row for row in rows}
+def test_ablation_decay_threshold(benchmark, results_dir, run_sweep):
+    result = benchmark.pedantic(lambda: run_sweep("decay"),
+                                rounds=1, iterations=1)
+    write_result(results_dir, "ablation_decay.txt", result.tabulate())
+    by = result.by_protocol()
     # A more aggressive threshold can only decay at least as many lines.
-    assert by_threshold[32]["shared_decays"] >= by_threshold[256]["shared_decays"]
+    assert by["TSO-CC-4-12-3-decay32"]["shared_decays"] >= \
+        by["TSO-CC-4-12-3"]["shared_decays"]
     # Disabling decay decays nothing.
-    assert by_threshold[None]["shared_decays"] == 0
+    assert by["TSO-CC-4-12-3-nodecay"]["shared_decays"] == 0

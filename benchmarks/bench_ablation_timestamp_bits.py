@@ -4,63 +4,26 @@ Sweeps the (Bts, Bwrite-group) space around the paper's configurations
 (12-3, 12-0, 9-3, plus unbounded) on a write-intensive workload mix and
 records self-invalidations and timestamp resets — the quantities Figures 7
 and 9 attribute the differences between those configurations to.
+
+A thin declaration over the sweep subsystem: the axis lives in the
+registered ``timestamp-bits`` :class:`~repro.analysis.sweeps.SweepSpec`
+(variants from ``repro.protocols.tsocc.variants``); this file only runs it
+and asserts the paper-shaped relationships.
 """
-
-from dataclasses import replace
-
-from repro.protocols.tsocc.config import TSO_CC_4_12_3
-from repro.sim.config import SystemConfig
-from repro.sim.system import build_system
-from repro.workloads.benchmarks import make_benchmark
 
 from bench_utils import write_result
 
-VARIANTS = (
-    ("ts=None group=1", None, 0),
-    ("ts=12 group=8", 12, 3),
-    ("ts=12 group=1", 12, 0),
-    ("ts=9  group=8", 9, 3),
-    ("ts=6  group=8", 6, 3),
-)
-WORKLOADS = ("canneal", "radix", "intruder")
 
-
-def _sweep():
-    system_config = SystemConfig().scaled(num_cores=8)
-    rows = []
-    for label, ts_bits, group_bits in VARIANTS:
-        config = replace(TSO_CC_4_12_3, name=f"TSO-CC-{label}",
-                         ts_bits=ts_bits, write_group_bits=group_bits)
-        cycles = selfinv = resets = 0
-        for name in WORKLOADS:
-            workload = make_benchmark(name, num_cores=8, scale=0.3)
-            system = build_system(system_config, config)
-            result = system.run(workload.programs, params=workload.params,
-                                max_cycles=200_000_000, workload_name=name)
-            assert workload.validate(result)
-            agg = result.stats.aggregate_l1()
-            cycles += result.stats.cycles
-            selfinv += sum(agg.self_inval_events.values())
-            resets += agg.ts_resets
-        rows.append({"variant": label, "cycles": cycles,
-                     "self_invalidations": selfinv, "ts_resets": resets})
-    return rows
-
-
-def test_ablation_timestamp_bits(benchmark, results_dir):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
-    lines = ["Ablation — timestamp width and write-group size"]
-    for row in rows:
-        lines.append(f"  {row['variant']:18s} cycles={row['cycles']:>9d} "
-                     f"self-inval={row['self_invalidations']:>7d} "
-                     f"ts-resets={row['ts_resets']:>5d}")
-    write_result(results_dir, "ablation_timestamp_bits.txt", "\n".join(lines))
-    by_label = {row["variant"]: row for row in rows}
+def test_ablation_timestamp_bits(benchmark, results_dir, run_sweep):
+    result = benchmark.pedantic(lambda: run_sweep("timestamp-bits"),
+                                rounds=1, iterations=1)
+    write_result(results_dir, "ablation_timestamp_bits.txt", result.tabulate())
+    by = result.by_protocol()
     # Unbounded timestamps never reset; narrow timestamps reset more often
     # than wide ones (8x in the paper for 9 vs 12 bits at equal grouping).
-    assert by_label["ts=None group=1"]["ts_resets"] == 0
-    assert by_label["ts=6  group=8"]["ts_resets"] >= by_label["ts=12 group=8"]["ts_resets"]
+    assert by["TSO-CC-4-noreset"]["ts_resets"] == 0
+    assert by["TSO-CC-4-6-3"]["ts_resets"] >= by["TSO-CC-4-12-3"]["ts_resets"]
     # More resets / coarser groups must not reduce self-invalidations below
     # the unbounded ideal.
-    assert by_label["ts=12 group=8"]["self_invalidations"] >= \
-        by_label["ts=None group=1"]["self_invalidations"] * 0.9
+    assert by["TSO-CC-4-12-3"]["self_invalidations"] >= \
+        by["TSO-CC-4-noreset"]["self_invalidations"] * 0.9

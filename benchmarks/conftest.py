@@ -42,22 +42,29 @@ def _env_list(name: str):
     return [item.strip() for item in raw.split(",") if item.strip()] or None
 
 
+def _executor_knobs():
+    """Worker-count and cache settings shared by every session fixture
+    (``REPRO_BENCH_JOBS`` / ``REPRO_BENCH_CACHE``)."""
+    jobs_env = os.environ.get("REPRO_BENCH_JOBS", "").strip()
+    jobs = int(jobs_env) if jobs_env else None
+    cache_enabled = os.environ.get("REPRO_BENCH_CACHE", "1").lower() not in (
+        "0", "false", "no")
+    return jobs, ResultCache(RESULTS_DIR / "cache", enabled=cache_enabled)
+
+
 @pytest.fixture(scope="session")
 def bench_runner() -> ExperimentRunner:
     """Session-cached experiment runner for the full evaluation matrix."""
     num_cores = int(os.environ.get("REPRO_BENCH_CORES", "8"))
     scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
-    jobs_env = os.environ.get("REPRO_BENCH_JOBS", "").strip()
-    jobs = int(jobs_env) if jobs_env else None
-    cache_enabled = os.environ.get("REPRO_BENCH_CACHE", "1").lower() not in (
-        "0", "false", "no")
+    jobs, cache = _executor_knobs()
     runner = ExperimentRunner(
         system_config=SystemConfig().scaled(num_cores=num_cores),
         protocols=_env_list("REPRO_BENCH_PROTOCOLS"),
         workloads=_env_list("REPRO_BENCH_WORKLOADS"),
         scale=scale,
         jobs=jobs,
-        cache=ResultCache(RESULTS_DIR / "cache", enabled=cache_enabled),
+        cache=cache,
     )
     return runner
 
@@ -67,3 +74,21 @@ def results_dir() -> Path:
     """Directory the regenerated tables are written to."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def run_sweep():
+    """Run a registered sensitivity sweep with the session's executor knobs
+    (``REPRO_BENCH_JOBS`` / ``REPRO_BENCH_CACHE``) applied.
+
+    The ablation benchmarks are thin declarations over
+    :mod:`repro.analysis.sweeps`; this fixture is their only execution
+    plumbing."""
+    from repro.analysis.sweeps import get_sweep
+
+    jobs, cache = _executor_knobs()
+
+    def _run(name: str):
+        return get_sweep(name).run(jobs=jobs, cache=cache)
+
+    return _run

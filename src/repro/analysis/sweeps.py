@@ -1,0 +1,344 @@
+"""Declarative sensitivity sweeps over the cached experiment matrix.
+
+The paper's evaluation is dominated by sensitivity studies: ranging one
+TSO-CC parameter (timestamp bits, access-counter width, decay threshold,
+the SharedRO optimization) — or the protocol itself — against a workload
+mix.  A :class:`SweepSpec` declares such a study as data::
+
+    SweepSpec(
+        name="timestamp-bits",
+        description="timestamp width and write-group size",
+        protocols=tuple(variant_group("tsocc-timestamp-bits")),
+        workloads=("canneal", "radix", "intruder"),
+        metrics=("cycles", "self_invalidations", "ts_resets"),
+    )
+
+and :meth:`SweepSpec.run` expands the axes (protocol variant × workload ×
+cores × scale) into the parallel, cache-backed
+:class:`~repro.analysis.parallel.MatrixExecutor`.  Because every axis point
+is a *registered, named* protocol configuration
+(:mod:`repro.protocols.tsocc.variants`), sweep cells ship to worker
+processes and persist in the content-addressed result cache exactly like
+paper-figure cells — re-running an unchanged sweep performs zero new
+simulations.
+
+Sweeps register into a module-level registry (:func:`register_sweep` /
+:func:`get_sweep` / :func:`list_sweeps`); the bundled families at the
+bottom of this module replace the former ad-hoc ``bench_ablation_*``
+scripts and drive the ``repro sweep`` CLI subcommand.
+
+A quick sanity doctest (also exercised by CI):
+
+>>> spec = get_sweep("timestamp-bits")
+>>> len(spec.cells()) == len(spec.protocols) * len(spec.workloads)
+True
+>>> sorted(s.name for s in list_sweeps())[:2]
+['access-counter', 'decay']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.parallel import MatrixExecutor, ResultCache
+from repro.protocols.registry import list_protocol_names, variant_group
+from repro.sim.config import SystemConfig
+from repro.sim.stats import SystemStats
+
+#: Named metrics a sweep can tabulate.  Every metric maps one cell's
+#: :class:`SystemStats` to a number; per-variant rows report the **sum over
+#: the sweep's workloads**, so only additive quantities belong here (rates
+#: are derived from the sums where needed).
+METRICS: Dict[str, Callable[[SystemStats], float]] = {
+    "cycles": lambda s: s.cycles,
+    "flits": lambda s: s.total_flits,
+    "messages": lambda s: s.network.messages,
+    "l1_misses": lambda s: s.aggregate_l1().total_misses,
+    "self_invalidations": lambda s: sum(s.aggregate_l1().self_inval_events.values()),
+    "ts_resets": lambda s: s.aggregate_l1().ts_resets,
+    "shared_decays": lambda s: s.aggregate_l2().shared_decays,
+    "sro_read_hits": lambda s: s.aggregate_l1().read_hits.get("shared_ro", 0),
+    "rmw_latency_total": lambda s: s.aggregate_l1().rmw_latency_total,
+}
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One declarative sensitivity sweep.
+
+    Attributes:
+        name: registry key (``repro sweep <name>``).
+        description: one-line summary shown by ``repro sweep --list``.
+        protocols: named protocol configurations forming the swept axis —
+            typically a variant group
+            (:func:`repro.protocols.registry.variant_group`).
+        workloads: Table 3 workload names the axis is evaluated on.
+        cores: core counts to expand (one platform per entry).
+        scales: workload scale factors to expand.
+        metrics: :data:`METRICS` keys to tabulate.
+        max_cycles: per-cell watchdog bound.
+    """
+
+    name: str
+    description: str
+    protocols: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+    cores: Tuple[int, ...] = (8,)
+    scales: Tuple[float, ...] = (0.3,)
+    metrics: Tuple[str, ...] = ("cycles", "flits")
+    max_cycles: int = 200_000_000
+
+    def __post_init__(self) -> None:
+        if not self.protocols or not self.workloads:
+            raise ValueError(f"sweep {self.name!r}: empty protocol or workload axis")
+        if not self.cores or not self.scales:
+            raise ValueError(f"sweep {self.name!r}: empty cores or scales axis")
+        unknown = [metric for metric in self.metrics if metric not in METRICS]
+        if unknown:
+            raise ValueError(
+                f"sweep {self.name!r}: unknown metrics {unknown}; "
+                f"known: {', '.join(METRICS)}"
+            )
+
+    # ------------------------------------------------------------------ axes
+
+    def cells(self) -> List[Tuple[int, float, str, str]]:
+        """The full axis expansion: ``(cores, scale, protocol, workload)``
+        per cell, in deterministic order."""
+        return [
+            (cores, scale, protocol, workload)
+            for cores in self.cores
+            for scale in self.scales
+            for protocol in self.protocols
+            for workload in self.workloads
+        ]
+
+    @property
+    def num_cells(self) -> int:
+        """Number of independent simulations the sweep expands into."""
+        return (len(self.protocols) * len(self.workloads)
+                * len(self.cores) * len(self.scales))
+
+    def subset(
+        self,
+        protocols: Optional[Sequence[str]] = None,
+        workloads: Optional[Sequence[str]] = None,
+        cores: Optional[Sequence[int]] = None,
+        scales: Optional[Sequence[float]] = None,
+    ) -> "SweepSpec":
+        """A copy with some axes overridden (CLI ``--protocols`` etc.)."""
+        return replace(
+            self,
+            protocols=tuple(protocols) if protocols else self.protocols,
+            workloads=tuple(workloads) if workloads else self.workloads,
+            cores=tuple(cores) if cores else self.cores,
+            scales=tuple(scales) if scales else self.scales,
+        )
+
+    # ------------------------------------------------------------------ running
+
+    def run(self, jobs: Optional[int] = None,
+            cache: Optional[ResultCache] = None) -> "SweepResult":
+        """Expand and execute every cell through the cached, parallel
+        :class:`MatrixExecutor` (one executor per platform point, since the
+        platform configuration and scale are part of the cache key).
+
+        Raises:
+            KeyError: if a protocol name is not registered.
+            WorkloadValidationError: if any cell produces functionally
+                invalid results (protocol correctness bug).
+        """
+        known = set(list_protocol_names())
+        missing = [p for p in self.protocols if p not in known]
+        if missing:
+            raise KeyError(
+                f"sweep {self.name!r} references unregistered protocols: "
+                f"{', '.join(missing)}"
+            )
+        stats: Dict[Tuple[str, str, int, float], SystemStats] = {}
+        simulations = 0
+        for cores in self.cores:
+            for scale in self.scales:
+                executor = MatrixExecutor(
+                    SystemConfig().scaled(num_cores=cores),
+                    scale=scale,
+                    max_cycles=self.max_cycles,
+                    jobs=jobs,
+                    cache=cache,
+                )
+                cell_stats = executor.run_cells(
+                    [(protocol, workload)
+                     for protocol in self.protocols
+                     for workload in self.workloads]
+                )
+                simulations += executor.simulations_run
+                for (protocol, workload), cell in cell_stats.items():
+                    stats[(protocol, workload, cores, scale)] = cell
+        return SweepResult(spec=self, stats=stats, simulations_run=simulations)
+
+
+@dataclass
+class SweepResult:
+    """Executed sweep: per-cell statistics plus tabulation helpers.
+
+    Attributes:
+        spec: the sweep that was run.
+        stats: ``(protocol, workload, cores, scale) -> SystemStats``.
+        simulations_run: cells actually simulated (the rest came from the
+            result cache).
+    """
+
+    spec: SweepSpec
+    stats: Dict[Tuple[str, str, int, float], SystemStats]
+    simulations_run: int = 0
+
+    def cell_rows(self) -> List[Dict[str, object]]:
+        """One row per cell with every metric of the spec."""
+        rows: List[Dict[str, object]] = []
+        for cores, scale, protocol, workload in self.spec.cells():
+            cell = self.stats[(protocol, workload, cores, scale)]
+            row: Dict[str, object] = {
+                "protocol": protocol, "workload": workload,
+                "cores": cores, "scale": scale,
+            }
+            for metric in self.spec.metrics:
+                row[metric] = METRICS[metric](cell)
+            rows.append(row)
+        return rows
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One row per (variant, cores, scale): metrics summed over the
+        workload mix — the quantity the ablation studies compare."""
+        rows: List[Dict[str, object]] = []
+        for cores in self.spec.cores:
+            for scale in self.spec.scales:
+                for protocol in self.spec.protocols:
+                    row: Dict[str, object] = {
+                        "protocol": protocol, "cores": cores, "scale": scale,
+                    }
+                    for metric in self.spec.metrics:
+                        row[metric] = sum(
+                            METRICS[metric](self.stats[(protocol, w, cores, scale)])
+                            for w in self.spec.workloads
+                        )
+                    rows.append(row)
+        return rows
+
+    def value(self, protocol: str, metric: str, cores: Optional[int] = None,
+              scale: Optional[float] = None) -> float:
+        """Summed ``metric`` for one variant (single-platform sweeps may
+        omit ``cores``/``scale``)."""
+        cores = cores if cores is not None else self.spec.cores[0]
+        scale = scale if scale is not None else self.spec.scales[0]
+        return sum(METRICS[metric](self.stats[(protocol, w, cores, scale)])
+                   for w in self.spec.workloads)
+
+    def by_protocol(self) -> Dict[str, Dict[str, float]]:
+        """``{variant: {metric: summed value}}`` for single-platform sweeps
+        (the shape the ablation assertions consume)."""
+        return {row["protocol"]: {metric: row[metric]
+                                  for metric in self.spec.metrics}
+                for row in self.rows()}
+
+    def tabulate(self, per_cell: bool = False) -> str:
+        """Render the sweep as an aligned plain-text table."""
+        from repro.analysis.tables import format_table
+
+        rows = self.cell_rows() if per_cell else self.rows()
+        title = (f"Sweep {self.spec.name} — {self.spec.description} "
+                 f"(workloads: {', '.join(self.spec.workloads)})")
+        return format_table(rows, title=title)
+
+
+# ---------------------------------------------------------------------- registry
+
+#: Registered sweeps by name, in registration order.
+SWEEPS: Dict[str, SweepSpec] = {}
+
+
+def register_sweep(spec: SweepSpec) -> SweepSpec:
+    """Register a sweep under its name.
+
+    Raises:
+        ValueError: on a duplicate name.
+    """
+    if spec.name in SWEEPS:
+        raise ValueError(f"sweep {spec.name!r} is already registered")
+    SWEEPS[spec.name] = spec
+    return spec
+
+
+def get_sweep(name: str) -> SweepSpec:
+    """Resolve a registered sweep by name.
+
+    Raises:
+        KeyError: for an unknown sweep name.
+    """
+    if name not in SWEEPS:
+        raise KeyError(
+            f"unknown sweep {name!r}; known: {', '.join(SWEEPS)}"
+        )
+    return SWEEPS[name]
+
+
+def list_sweeps() -> List[SweepSpec]:
+    """Every registered sweep, in registration order."""
+    return list(SWEEPS.values())
+
+
+# ---------------------------------------------------------------------- bundled sweeps
+
+#: Timestamp width × write-group size (§3.3/§3.5, Figures 7/9 levers) on a
+#: write-intensive mix.  Replaces ``bench_ablation_timestamp_bits``.
+TIMESTAMP_BITS_SWEEP = register_sweep(SweepSpec(
+    name="timestamp-bits",
+    description="timestamp width and write-group size (Bts, Bwrite-group)",
+    protocols=tuple(variant_group("tsocc-timestamp-bits")),
+    workloads=("canneal", "radix", "intruder"),
+    metrics=("cycles", "self_invalidations", "ts_resets"),
+))
+
+#: Access-counter width ``Bmaxacc`` (§4.2) on a producer-consumer-heavy mix.
+#: Replaces ``bench_ablation_access_counter``.
+ACCESS_COUNTER_SWEEP = register_sweep(SweepSpec(
+    name="access-counter",
+    description="per-line access counter width (Bmaxacc)",
+    protocols=tuple(variant_group("tsocc-access-counter")),
+    workloads=("fft", "dedup", "intruder"),
+    metrics=("cycles", "flits"),
+))
+
+#: Shared→SharedRO decay threshold (§3.4) on read-mostly workloads.
+#: Replaces ``bench_ablation_decay``.
+DECAY_SWEEP = register_sweep(SweepSpec(
+    name="decay",
+    description="Shared->SharedRO decay threshold (writes)",
+    protocols=tuple(variant_group("tsocc-decay")),
+    workloads=("genome", "raytrace"),
+    metrics=("cycles", "shared_decays", "sro_read_hits"),
+))
+
+#: Shared read-only optimization on/off (§3.4).  Replaces
+#: ``bench_ablation_sharedro``.
+SHARED_RO_SWEEP = register_sweep(SweepSpec(
+    name="shared-ro",
+    description="shared read-only optimization on/off",
+    protocols=tuple(variant_group("tsocc-shared-ro")),
+    workloads=("raytrace", "blackscholes", "genome"),
+    scales=(0.35,),
+    metrics=("cycles", "flits", "sro_read_hits"),
+))
+
+#: Protocol-family comparison: the eager directory protocols, the
+#: directory-less broadcast strawman and the paper's best TSO-CC point, with
+#: a core-count axis to expose the broadcast traffic scaling.
+PROTOCOL_BASELINES_SWEEP = register_sweep(SweepSpec(
+    name="protocol-baselines",
+    description="eager variants (MSI/MESI/MOESI), broadcast strawman, TSO-CC",
+    protocols=("MESI", "MSI", "MOESI", "Broadcast", "TSO-CC-4-12-3"),
+    workloads=("fft", "dedup", "intruder"),
+    cores=(4, 8),
+    scales=(0.2,),
+    metrics=("cycles", "flits", "messages"),
+))

@@ -6,6 +6,8 @@ Exposes the most common operations without writing Python::
     python -m repro protocols                     # registered protocol plugins
     python -m repro run fft --protocol MESI --protocol TSO-CC-4-12-3
     python -m repro figure 3 --workloads fft,radix --scale 0.3 --jobs 8
+    python -m repro sweep --list                  # registered sensitivity sweeps
+    python -m repro sweep timestamp-bits --jobs 8
     python -m repro storage --cores 32,64,128
     python -m repro litmus --protocol TSO-CC-4-12-3 --iterations 10
 
@@ -31,6 +33,7 @@ from repro.analysis.experiments import ExperimentRunner
 from repro.analysis.parallel import (DEFAULT_CACHE_DIR, ResultCache,
                                      WorkloadValidationError,
                                      _default_results_root)
+from repro.analysis.sweeps import get_sweep, list_sweeps
 from repro.analysis.tables import format_series_table, format_table, protocol_rows
 from repro.consistency import canonical_tests, verify_litmus
 from repro.protocols.registry import list_protocol_names
@@ -148,6 +151,59 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.list:
+        rows = [{
+            "sweep": spec.name,
+            "variants": len(spec.protocols),
+            "workloads": len(spec.workloads),
+            "cores": ",".join(str(c) for c in spec.cores),
+            "scales": ",".join(str(s) for s in spec.scales),
+            "cells": spec.num_cells,
+            "description": spec.description,
+        } for spec in list_sweeps()]
+        print(format_table(rows, title="Registered sensitivity sweeps"))
+        return 0
+    try:
+        spec = get_sweep(args.name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    spec = spec.subset(
+        protocols=_split(args.protocols),
+        workloads=_split(args.workloads),
+        cores=[int(c) for c in _split(args.cores) or []] or None,
+        scales=[float(s) for s in _split(args.scales) or []] or None,
+    )
+    if args.cells:
+        rows = [{"cores": cores, "scale": scale, "protocol": protocol,
+                 "workload": workload}
+                for cores, scale, protocol, workload in spec.cells()]
+        print(format_table(rows, title=f"Sweep {spec.name}: {spec.num_cells} cells"))
+        return 0
+    cache = _make_cache(args)
+    try:
+        result = spec.run(jobs=args.jobs, cache=cache)
+    except KeyError as exc:
+        # e.g. a typo in --protocols: unregistered configuration names.
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    except WorkloadValidationError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    table = result.tabulate(per_cell=args.per_cell)
+    print(table)
+    print(f"({spec.num_cells} cells: {result.simulations_run} simulated, "
+          f"{spec.num_cells - result.simulations_run} from cache)")
+    if args.save:
+        results_dir = Path(args.results_dir)
+        results_dir.mkdir(parents=True, exist_ok=True)
+        out = results_dir / f"sweep_{spec.name}.txt"
+        out.write_text(table + "\n", encoding="utf-8")
+        print(f"saved {out}")
+    return 0
+
+
 def _cmd_storage(args: argparse.Namespace) -> int:
     core_counts = [int(c) for c in (_split(args.cores) or ["16", "32", "64", "128"])]
     model = StorageModel(SystemConfig())
@@ -222,6 +278,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory for --save (default: benchmarks/results)")
     add_executor_flags(figure)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="list, inspect and run declarative sensitivity sweeps")
+    sweep.add_argument("name", nargs="?", default="timestamp-bits",
+                       help="registered sweep name (default: timestamp-bits; "
+                            "see --list)")
+    sweep.add_argument("--list", action="store_true",
+                       help="list registered sweeps and exit")
+    sweep.add_argument("--cells", action="store_true",
+                       help="print the sweep's cell expansion without running")
+    sweep.add_argument("--per-cell", action="store_true",
+                       help="tabulate per (variant, workload) cell instead of "
+                            "summing over the workload mix")
+    sweep.add_argument("--protocols", help="override: comma-separated variant names")
+    sweep.add_argument("--workloads", help="override: comma-separated workload subset")
+    sweep.add_argument("--cores", help="override: comma-separated core counts")
+    sweep.add_argument("--scales", help="override: comma-separated scale factors")
+    sweep.add_argument("--save", action="store_true",
+                       help="also write the table to the results directory")
+    sweep.add_argument("--results-dir", default=str(DEFAULT_RESULTS_DIR),
+                       help="directory for --save (default: benchmarks/results)")
+    add_executor_flags(sweep)
+
     storage = sub.add_parser("storage", help="print the Figure 2 storage model")
     storage.add_argument("--cores", help="comma-separated core counts")
 
@@ -242,6 +321,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "protocols": _cmd_protocols,
         "run": _cmd_run,
         "figure": _cmd_figure,
+        "sweep": _cmd_sweep,
         "storage": _cmd_storage,
         "litmus": _cmd_litmus,
     }

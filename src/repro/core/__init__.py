@@ -5,6 +5,12 @@ became plugins (PR 2); this package re-exports the old names so existing
 imports keep working.  New code should import from
 ``repro.protocols.tsocc`` (protocol) and ``repro.protocols.storage``
 (storage model).
+
+Removal policy: the whole ``repro.core`` package (this module and its
+per-module shims) is kept for two PR cycles after the move and is
+scheduled for removal in PR 4.  Importing it raises a
+``DeprecationWarning`` naming the new locations; nothing inside the
+repository imports through it except the shim-coverage tests.
 """
 
 import warnings

@@ -1,3 +1,13 @@
-"""Deprecated shim: moved to :mod:`repro.protocols.tsocc.states` (PR 2)."""
+"""Deprecated shim: moved to :mod:`repro.protocols.tsocc.states` (PR 2).
+
+Import from the new location::
+
+    from repro.protocols.tsocc.states import ...
+
+Removal policy: this shim is kept for two PR cycles after the
+move (scheduled for removal in PR 4); it emits no warning of its
+own — importing the :mod:`repro.core` package raises the
+``DeprecationWarning``.
+"""
 
 from repro.protocols.tsocc.states import TSOCCL1State, TSOCCL2State  # noqa: F401

@@ -1,7 +1,12 @@
 """Deprecated shim: the storage model moved to
 :mod:`repro.protocols.storage` (cross-protocol calculator over the plugin
 API) and :mod:`repro.protocols.tsocc.storage` (the Table 1 inventory);
-overhead formulas are methods on the protocol plugins (PR 2)."""
+overhead formulas are methods on the protocol plugins (PR 2).
+
+Removal policy: this shim is kept for two PR cycles after the move
+(scheduled for removal in PR 4); it emits no warning of its own —
+importing the :mod:`repro.core` package raises the ``DeprecationWarning``.
+"""
 
 from repro.protocols.storage import (  # noqa: F401
     StorageModel,

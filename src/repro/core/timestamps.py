@@ -1,4 +1,14 @@
-"""Deprecated shim: moved to :mod:`repro.protocols.tsocc.timestamps` (PR 2)."""
+"""Deprecated shim: moved to :mod:`repro.protocols.tsocc.timestamps` (PR 2).
+
+Import from the new location::
+
+    from repro.protocols.tsocc.timestamps import ...
+
+Removal policy: this shim is kept for two PR cycles after the
+move (scheduled for removal in PR 4); it emits no warning of its
+own — importing the :mod:`repro.core` package raises the
+``DeprecationWarning``.
+"""
 
 from repro.protocols.tsocc.timestamps import (  # noqa: F401
     SMALLEST_VALID_TIMESTAMP,

@@ -16,6 +16,13 @@
   contribution (previously at ``repro.core``).
 * :mod:`repro.protocols.msi` — an MSI baseline (MESI minus E) added purely
   through the plugin API; the worked example for adding protocols.
+* :mod:`repro.protocols.moesi` — MOESI (MESI + Owned): owner forwarding and
+  dirty sharing on top of the MESI machine.
+* :mod:`repro.protocols.broadcast` — a directory-less broadcast-snooping
+  strawman for the traffic figures.
+* :mod:`repro.protocols.tsocc.variants` — programmatically generated,
+  registered TSO-CC sweep variants, published as variant groups consumed by
+  the sweep subsystem (:mod:`repro.analysis.sweeps`).
 * :mod:`repro.protocols.storage` — the cross-protocol storage-overhead
   calculator (Figure 2 / Table 1) over the plugins.
 
@@ -32,6 +39,7 @@ from repro.protocols.base import (
 )
 from repro.protocols.registry import (
     PAPER_CONFIGURATIONS,
+    VARIANT_GROUPS,
     Protocol,
     ProtocolSpec,
     get_protocol,
@@ -39,13 +47,20 @@ from repro.protocols.registry import (
     list_protocol_names,
     register_configuration,
     register_protocol,
+    register_variants,
     registered_protocols,
+    variant_group,
 )
 
 # Plugin registration (order defines the registry / figure order).
-import repro.protocols.mesi    # noqa: E402,F401  (registers MESI)
-import repro.protocols.tsocc   # noqa: E402,F401  (registers the TSO-CC family)
-import repro.protocols.msi     # noqa: E402,F401  (registers MSI, in_paper=False)
+import repro.protocols.mesi       # noqa: E402,F401  (registers MESI)
+import repro.protocols.tsocc      # noqa: E402,F401  (registers the TSO-CC family)
+import repro.protocols.msi        # noqa: E402,F401  (registers MSI, in_paper=False)
+import repro.protocols.moesi      # noqa: E402,F401  (registers MOESI, in_paper=False)
+import repro.protocols.broadcast  # noqa: E402,F401  (registers Broadcast, in_paper=False)
+# Named sweep variants (registered last so the paper configurations keep
+# their registry order); publishes the tsocc-* variant groups.
+import repro.protocols.tsocc.variants  # noqa: E402,F401
 
 from repro.protocols.storage import StorageModel  # noqa: E402
 
@@ -58,11 +73,14 @@ __all__ = [
     "Protocol",
     "ProtocolSpec",
     "PAPER_CONFIGURATIONS",
+    "VARIANT_GROUPS",
     "StorageModel",
     "get_protocol",
     "get_protocol_spec",
     "list_protocol_names",
     "register_protocol",
     "register_configuration",
+    "register_variants",
     "registered_protocols",
+    "variant_group",
 ]

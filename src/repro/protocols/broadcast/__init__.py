@@ -1,0 +1,14 @@
+"""Directory-less broadcast-snooping strawman protocol plugin."""
+
+from repro.protocols.broadcast.l1_controller import BroadcastL1Controller
+from repro.protocols.broadcast.l2_controller import BroadcastL2Controller
+from repro.protocols.broadcast.protocol import BroadcastProtocol
+from repro.protocols.broadcast.states import BroadcastL1State, BroadcastL2State
+
+__all__ = [
+    "BroadcastProtocol",
+    "BroadcastL1Controller",
+    "BroadcastL2Controller",
+    "BroadcastL1State",
+    "BroadcastL2State",
+]

@@ -1,0 +1,40 @@
+"""Broadcast-snooping strawman plugin.
+
+The directory-less counterpoint for the traffic figures: coherence storage
+collapses to a valid bit per L2 line and two state bits per L1 line (no
+sharing vector, no owner pointer), but every request to a resident line
+costs a broadcast to all cores plus all their answers — traffic that grows
+linearly with the core count where MESI pays directory storage and TSO-CC
+pays neither.  Registered with ``in_paper=False``; select it explicitly
+(``--protocol Broadcast``) or through the ``protocol-baselines`` sweep.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.broadcast.l1_controller import BroadcastL1Controller
+from repro.protocols.broadcast.l2_controller import BroadcastL2Controller
+from repro.protocols.registry import Protocol, register_protocol
+
+
+@register_protocol
+class BroadcastProtocol(Protocol):
+    """Directory-less broadcast snooping (eager invalidation, MESI states)."""
+
+    kind = "broadcast"
+    has_directory = False
+    in_paper = False
+    l1_controller_cls = BroadcastL1Controller
+    l2_controller_cls = BroadcastL2Controller
+
+    @property
+    def name(self) -> str:
+        return "Broadcast"
+
+    def overhead_bits(self, system_config) -> int:
+        # Two stable-state bits per L1 line; one valid bit per L2 line.
+        # No per-core structures of any kind — the whole point.
+        return (system_config.num_cores * system_config.l1_lines * 2
+                + system_config.total_l2_lines * 1)
+
+    def config_summary(self) -> str:
+        return "directory-less broadcast snooping (traffic strawman)"

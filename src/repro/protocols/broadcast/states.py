@@ -1,0 +1,23 @@
+"""Broadcast-snooping protocol states.
+
+The L1 reuses the MESI stable states (a snoop answer tells the home tile
+whether anyone held a copy, so Exclusive grants are still possible); the L2
+keeps **no directory metadata at all** — a resident line is simply
+``VALID``.  Not knowing who caches what is the entire point of the
+strawman: every request to a resident line must be broadcast to every core.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.protocols.mesi.states import MESIL1State
+
+#: The broadcast L1 runs the MESI stable states unchanged.
+BroadcastL1State = MESIL1State
+
+
+class BroadcastL2State(Enum):
+    """The single stable L2 state: resident, with no L1 tracking."""
+
+    VALID = "V"

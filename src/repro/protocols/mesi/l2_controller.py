@@ -31,11 +31,19 @@ from repro.protocols.mesi.states import MESIDirState
 
 
 class MESIL2Controller(BaseL2Controller):
-    """Directory / shared-cache controller for one L2 tile (MESI)."""
+    """Directory / shared-cache controller for one L2 tile (MESI).
+
+    Directory states are class attributes (``idle_state`` / ``shared_state``
+    / ``exclusive_state``) so derived protocols can substitute their own
+    enum — MSI reuses the MESI states unchanged, MOESI swaps in a four-state
+    enum with an additional Owned member.
+    """
 
     protocol_label = "MESI"
     exclusive_state = MESIDirState.EXCLUSIVE
     idle_state = MESIDirState.VALID
+    #: Directory state meaning "one or more tracked L1 sharers".
+    shared_state = MESIDirState.SHARED
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -79,7 +87,7 @@ class MESIL2Controller(BaseL2Controller):
         """Grant a read of a line with no (other) tracked copies.  MESI hands
         out an Exclusive copy so private read-write data avoids a later
         upgrade; MSI overrides this to grant a Shared copy."""
-        line.state = MESIDirState.EXCLUSIVE
+        line.state = self.exclusive_state
         line.owner = requester
         line.sharers = set()
         self.send(MessageType.DATA_E, self.l1_node(requester),
@@ -88,7 +96,7 @@ class MESIL2Controller(BaseL2Controller):
 
     def grant_write(self, line: CacheLine, requester: int) -> None:
         """Grant exclusive write ownership of an untracked line."""
-        line.state = MESIDirState.EXCLUSIVE
+        line.state = self.exclusive_state
         line.owner = requester
         line.sharers = set()
         self.send(MessageType.DATA_X, self.l1_node(requester),
@@ -105,10 +113,10 @@ class MESIL2Controller(BaseL2Controller):
         if line is None:
             self._fetch_and_then(msg)
             return
-        if line.state is MESIDirState.VALID:
+        if line.state is self.idle_state:
             self.grant_read(line, requester)
             return
-        if line.state is MESIDirState.SHARED:
+        if line.state is self.shared_state:
             line.sharers.add(requester)
             self.send(MessageType.DATA_S, self.l1_node(requester),
                       address=line.address, data=line.copy_data(),
@@ -134,7 +142,7 @@ class MESIL2Controller(BaseL2Controller):
             if msg.info.get("dirty") and msg.data is not None:
                 line.merge_data(msg.data)
                 line.dirty = True
-            line.state = MESIDirState.SHARED
+            line.state = self.shared_state
             line.sharers = {msg.info["owner"], txn["requester"]}
             line.owner = None
         self.unblock(msg.address)
@@ -149,14 +157,14 @@ class MESIL2Controller(BaseL2Controller):
         if line is None:
             self._fetch_and_then(msg)
             return
-        if line.state is MESIDirState.VALID:
+        if line.state is self.idle_state:
             self.grant_write(line, requester)
             return
-        if line.state is MESIDirState.SHARED:
+        if line.state is self.shared_state:
             others = {sharer for sharer in line.sharers if sharer != requester}
             was_sharer = requester in line.sharers
             if not others:
-                line.state = MESIDirState.EXCLUSIVE
+                line.state = self.exclusive_state
                 line.owner = requester
                 line.sharers = set()
                 if was_sharer:
@@ -210,7 +218,7 @@ class MESIL2Controller(BaseL2Controller):
         line = self.cache.get_line(msg.address)
         requester = txn["requester"]
         if line is not None:
-            line.state = MESIDirState.EXCLUSIVE
+            line.state = self.exclusive_state
             line.owner = requester
             line.sharers = set()
             if txn["was_sharer"]:
@@ -228,7 +236,7 @@ class MESIL2Controller(BaseL2Controller):
         txn = self._dir_txn.pop(msg.address, None)
         line = self.cache.get_line(msg.address)
         if line is not None and txn is not None:
-            line.state = MESIDirState.EXCLUSIVE
+            line.state = self.exclusive_state
             line.owner = txn["requester"]
             line.sharers = set()
         self.unblock(msg.address)
@@ -240,10 +248,10 @@ class MESIL2Controller(BaseL2Controller):
         self.stats.requests["PutS"] += 1
         line = self.cache.get_line(msg.address)
         owner = msg.info["owner"]
-        if line is not None and line.state is MESIDirState.SHARED:
+        if line is not None and line.state is self.shared_state:
             line.sharers.discard(owner)
             if not line.sharers:
-                line.state = MESIDirState.VALID
+                line.state = self.idle_state
 
     def _on_pute(self, msg: Message) -> None:
         assert msg.address is not None
@@ -285,11 +293,11 @@ class MESIL2Controller(BaseL2Controller):
         """Recall an evicted directory line from the L1s that cache it
         (inclusive L2), then write it back to memory."""
         self.record_l2_eviction(victim)
-        if victim.state is MESIDirState.VALID or victim.state is None:
+        if victim.state is self.idle_state or victim.state is None:
             if victim.dirty:
                 self.writeback_to_memory(victim.address, victim.copy_data())
             return
-        if victim.state is MESIDirState.EXCLUSIVE:
+        if victim.state is self.exclusive_state:
             self.begin_recall(victim, pending=1)
             self.send(MessageType.RECALL, self.l1_node(victim.owner),
                       address=victim.address)

@@ -1,0 +1,14 @@
+"""MOESI protocol plugin (MESI + Owned: owner forwarding, dirty sharing)."""
+
+from repro.protocols.moesi.l1_controller import MOESIL1Controller
+from repro.protocols.moesi.l2_controller import MOESIL2Controller
+from repro.protocols.moesi.protocol import MOESIProtocol
+from repro.protocols.moesi.states import MOESIDirState, MOESIL1State
+
+__all__ = [
+    "MOESIProtocol",
+    "MOESIL1Controller",
+    "MOESIL2Controller",
+    "MOESIL1State",
+    "MOESIDirState",
+]

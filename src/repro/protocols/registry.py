@@ -38,6 +38,13 @@ _REGISTRY: Dict[str, "Protocol"] = {}
 #: everywhere but excluded from the default experiment matrix.)
 PAPER_CONFIGURATIONS: Dict[str, "Protocol"] = {}
 
+#: Named variant groups: ``group name -> configuration names`` published via
+#: :func:`register_variants`.  A group collects the named configurations one
+#: sensitivity-sweep axis ranges over (e.g. the timestamp-width family); the
+#: sweep subsystem (:mod:`repro.analysis.sweeps`) references groups instead
+#: of hard-coding configuration lists.
+VARIANT_GROUPS: Dict[str, List[str]] = {}
+
 
 class Protocol:
     """Base class for coherence-protocol plugins.
@@ -177,11 +184,70 @@ def register_configuration(protocol: Protocol) -> Protocol:
     return protocol
 
 
+def register_variants(group: str, protocols: Sequence) -> List[str]:
+    """Publish a named **variant group**: the configurations one sweep axis
+    ranges over.
+
+    Each entry is either a :class:`Protocol` instance to register (it is
+    forced to ``in_paper=False`` — variants never join the default paper
+    matrix) or the *name* of an already-registered configuration (so groups
+    can include paper configurations such as ``TSO-CC-4-12-3`` without
+    re-registering them).  Returns the group's configuration names in order.
+
+    Raises:
+        KeyError: when a name entry is not a registered configuration.
+        ValueError: when an instance entry clashes with a registered name.
+    """
+    names: List[str] = []
+    for protocol in protocols:
+        if isinstance(protocol, str):
+            if protocol not in _REGISTRY:
+                raise KeyError(
+                    f"variant group {group!r} references unknown "
+                    f"configuration {protocol!r}"
+                )
+            names.append(protocol)
+            continue
+        # Validate before mutating: flipping in_paper on an instance that
+        # turns out to be already registered (register_configuration would
+        # raise) must not corrupt the registered plugin.
+        if protocol.name in _REGISTRY:
+            raise ValueError(
+                f"protocol {protocol.name!r} is already registered; "
+                f"reference it by name to include it in group {group!r}"
+            )
+        protocol.in_paper = False
+        register_configuration(protocol)
+        names.append(protocol.name)
+    members = VARIANT_GROUPS.setdefault(group, [])
+    for name in names:
+        if name not in members:
+            members.append(name)
+    return names
+
+
+def variant_group(group: str) -> List[str]:
+    """Configuration names of one variant group.
+
+    Raises:
+        KeyError: for an unknown group name.
+    """
+    if group not in VARIANT_GROUPS:
+        raise KeyError(
+            f"unknown variant group {group!r}; known: "
+            f"{', '.join(VARIANT_GROUPS) or '(none)'}"
+        )
+    return list(VARIANT_GROUPS[group])
+
+
 def unregister_configuration(name: str) -> None:
     """Remove a named configuration (used by tests registering throwaway
     protocols; the family entry, if any, is left in place)."""
     _REGISTRY.pop(name, None)
     PAPER_CONFIGURATIONS.pop(name, None)
+    for members in VARIANT_GROUPS.values():
+        if name in members:
+            members.remove(name)
 
 
 def registered_protocols() -> List[Protocol]:

@@ -1,0 +1,105 @@
+"""Programmatically generated, *registered* TSO-CC variants for sweeps.
+
+The paper's sensitivity studies (§4.2) range TSO-CC's parameters one axis
+at a time around the best realistic configuration ``TSO-CC-4-12-3``.  This
+module generates those points as **named, registered configurations** so
+they flow through everything a paper configuration does — the CLI, the
+litmus runner, and crucially the parallel :class:`MatrixExecutor` whose
+worker processes resolve protocols *by name* (ad-hoc ``TSOCCConfig``
+objects cannot cross the process boundary, registered names can, and only
+named cells are cacheable in the on-disk result cache).
+
+Naming follows the paper's ``TSO-CC-<Bmaxacc>-<Bts>-<Bwrite-group>``
+convention (``inf`` for unbounded timestamps), plus a suffix for parameters
+outside the triple (``-decay32``, ``-noSRO`` ...).  Triples that coincide
+with a paper configuration reuse the paper name instead of registering a
+duplicate.
+
+Each sweep axis is published as a variant group
+(:func:`repro.protocols.registry.register_variants`); the sweep
+declarations in :mod:`repro.analysis.sweeps` reference the groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.protocols.registry import register_variants
+from repro.protocols.tsocc.config import TSO_CC_4_12_3
+from repro.protocols.tsocc.protocol import TSOCCProtocol
+
+#: Parameter triples already registered under their paper names (all other
+#: base parameters of these configurations equal the ``TSO-CC-4-12-3``
+#: defaults, so reusing the name reuses the exact same simulation).
+_PAPER_TRIPLES = {
+    (4, 12, 3): "TSO-CC-4-12-3",
+    (4, 12, 0): "TSO-CC-4-12-0",
+    (4, 9, 3): "TSO-CC-4-9-3",
+    (4, None, 0): "TSO-CC-4-noreset",
+}
+
+
+def variant_name(max_acc_bits: int, ts_bits: Optional[int],
+                 write_group_bits: int, suffix: str = "") -> str:
+    """Paper-convention name for a TSO-CC parameter triple."""
+    ts = "inf" if ts_bits is None else str(ts_bits)
+    return f"TSO-CC-{max_acc_bits}-{ts}-{write_group_bits}{suffix}"
+
+
+def tsocc_variant(max_acc_bits: int = 4, ts_bits: Optional[int] = 12,
+                  write_group_bits: int = 3, suffix: str = "",
+                  **overrides) -> TSOCCProtocol:
+    """Build an (unregistered) TSO-CC plugin instance for a parameter point.
+
+    The configuration is ``TSO-CC-4-12-3`` with the given triple and any
+    further field ``overrides`` applied; the name is derived from the
+    parameters so equal points always collide instead of aliasing.
+    """
+    name = variant_name(max_acc_bits, ts_bits, write_group_bits, suffix)
+    config = replace(TSO_CC_4_12_3, name=name, max_acc_bits=max_acc_bits,
+                     ts_bits=ts_bits, write_group_bits=write_group_bits,
+                     **overrides)
+    return TSOCCProtocol(config)
+
+
+def _triple(max_acc_bits: int, ts_bits: Optional[int], write_group_bits: int):
+    """A sweep point: the paper configuration's name when one exists for the
+    triple, else a freshly built variant instance."""
+    paper = _PAPER_TRIPLES.get((max_acc_bits, ts_bits, write_group_bits))
+    return paper or tsocc_variant(max_acc_bits, ts_bits, write_group_bits)
+
+
+#: Timestamp width × write-group size (§3.3/§3.5): unbounded ideal, the
+#: three paper points, and a 6-bit width below the paper's narrowest.
+TIMESTAMP_BITS_VARIANTS = register_variants("tsocc-timestamp-bits", (
+    _triple(4, None, 0),
+    _triple(4, 12, 3),
+    _triple(4, 12, 0),
+    _triple(4, 9, 3),
+    _triple(4, 6, 3),
+))
+
+#: Access-counter width ``Bmaxacc`` (§4.2): 0 bits degenerates into
+#: CC-shared-to-L2 behaviour for Shared lines, 4 is the paper's pick.
+ACCESS_COUNTER_VARIANTS = register_variants("tsocc-access-counter", (
+    _triple(0, 12, 3),
+    _triple(2, 12, 3),
+    _triple(4, 12, 3),
+    _triple(6, 12, 3),
+))
+
+#: Shared→SharedRO decay threshold (§3.4): the paper fixes 256 writes.
+DECAY_VARIANTS = register_variants("tsocc-decay", (
+    tsocc_variant(suffix="-decay32", decay_writes=32),
+    "TSO-CC-4-12-3",
+    tsocc_variant(suffix="-decay2048", decay_writes=2048),
+    tsocc_variant(suffix="-nodecay", decay_writes=None),
+))
+
+#: Shared read-only optimization on/off (§3.4).
+SHARED_RO_VARIANTS = register_variants("tsocc-shared-ro", (
+    "TSO-CC-4-12-3",
+    tsocc_variant(suffix="-noSRO", use_shared_ro=False,
+                  sro_uses_l2_timestamps=False, decay_writes=None),
+))

@@ -12,8 +12,10 @@ from __future__ import annotations
 from repro.sim.config import SystemConfig
 from repro.sim.system import build_system
 
-#: Every registered protocol configuration: the seven of the paper plus the
-#: MSI plugin demonstrator.
+#: The seven paper configurations plus the MSI plugin demonstrator — the
+#: set the cross-protocol suites iterate.  (Further registered plugins —
+#: MOESI, Broadcast and the generated TSO-CC sweep variants — are covered
+#: by their own suites: tests/test_moesi_broadcast.py, tests/test_sweeps.py.)
 ALL_PROTOCOLS = (
     "MESI",
     "CC-shared-to-L2",

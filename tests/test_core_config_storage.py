@@ -73,8 +73,15 @@ def test_registry_paper_configurations_in_figure_order():
         "MESI", "CC-shared-to-L2", "TSO-CC-4-basic", "TSO-CC-4-noreset",
         "TSO-CC-4-12-3", "TSO-CC-4-12-0", "TSO-CC-4-9-3",
     ]
-    # The full registry adds the non-paper MSI demonstrator.
-    assert list_protocol_names() == list(PAPER_CONFIGURATIONS) + ["MSI"]
+    # The full registry starts with the paper configurations (the figure
+    # order), followed by the non-paper plugins (MSI, MOESI, Broadcast) and
+    # the generated sweep variants — none of which may leak into the paper
+    # matrix.
+    names = list_protocol_names()
+    assert names[:len(PAPER_CONFIGURATIONS)] == list(PAPER_CONFIGURATIONS)
+    extras = names[len(PAPER_CONFIGURATIONS):]
+    assert extras[:3] == ["MSI", "MOESI", "Broadcast"]
+    assert all(extra not in PAPER_CONFIGURATIONS for extra in extras)
     assert PAPER_CONFIGURATIONS["MESI"].is_baseline
     assert not PAPER_CONFIGURATIONS["TSO-CC-4-12-3"].is_baseline
 
@@ -86,7 +93,7 @@ def test_get_protocol_accepts_names_plugins_and_configs():
     assert protocol.tsocc is TSO_CC_4_12_3          # deprecated alias
     assert get_protocol(protocol) is protocol
     with pytest.raises(KeyError):
-        get_protocol("MOESI")
+        get_protocol("MESIF")          # not (yet) a registered plugin
     with pytest.raises(TypeError):
         get_protocol(42)
 
