@@ -1,0 +1,233 @@
+"""Pluggable execution backends for the experiment matrix.
+
+:class:`~repro.analysis.parallel.MatrixExecutor` decides *which* cells need
+simulating (cache lookups stay on the executor); a **backend** decides *how*
+the misses are executed.  Three strategies ship with the repository:
+
+``local``
+    One worker-process submission per cell over a ``ProcessPoolExecutor`` —
+    the original PR-1 behaviour, and the default.
+``batched``
+    Chunks the pending cells into per-worker batches so one process
+    submission amortizes fork + interpreter-import cost over many small
+    simulations (:mod:`repro.analysis.backends.batched`).
+``shard``
+    Deterministically partitions the cell list into N disjoint shards by
+    the cell's content-addressed cache key and executes only one shard,
+    delegating the actual execution to an inner backend
+    (:mod:`repro.analysis.backends.shard`).  Shards run on different
+    machines/CI jobs with **no coordinator** — every invocation computes
+    the same pure cell→shard assignment — and their result directories
+    merge back through the :class:`~repro.analysis.parallel.ResultCache`
+    format.
+
+Every backend receives the same deterministic inputs and returns the same
+byte-identical ``SystemStats.to_dict()`` payloads (pinned by
+``tests/test_backends.py``), so the choice is purely an execution-placement
+decision: it never affects results or cache keys.
+
+Selection, everywhere: explicit ``backend`` argument/flag → the
+``REPRO_BACKEND`` environment variable → ``local``.  Shard coordinates come
+from ``--shard-index``/``--shard-count`` or ``REPRO_SHARD=<index>/<count>``
+(see :func:`resolve_shard`).  See EXPERIMENTS.md for the CI recipe.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, List, Optional, Tuple, Type, Union
+
+#: One pending matrix cell: ``(protocol, workload, cache-key-or-None)``.
+PendingCell = Tuple[str, str, Optional[str]]
+
+#: What a backend yields per executed cell: the pending tuple plus the
+#: JSON-serializable ``SystemStats.to_dict()`` payload.
+CellResult = Tuple[PendingCell, Dict[str, object]]
+
+
+class Backend:
+    """Strategy interface: execute pending matrix cells for an executor.
+
+    Subclasses set :attr:`name` (the registry key) and implement
+    :meth:`run`.  Backends are stateless with respect to results — they
+    must yield one payload per executed cell and may yield cells in any
+    completion order.  A backend may execute a *subset* of ``pending``
+    (that is the whole point of ``shard``); callers must key off the
+    yielded cells, not assume completeness.
+    """
+
+    #: Registry key (``--backend <name>`` / ``REPRO_BACKEND``).
+    name: str = ""
+
+    def run(self, executor, pending: List[PendingCell]) -> Iterator[CellResult]:
+        """Execute (a backend-chosen subset of) ``pending`` cells.
+
+        Args:
+            executor: the owning
+                :class:`~repro.analysis.parallel.MatrixExecutor`; provides
+                ``system_config``, ``scale``, ``max_cycles`` and ``jobs``.
+            pending: deduplicated cache-miss cells in deterministic order.
+
+        Yields:
+            ``(pending_cell, stats_payload)`` per executed cell.
+        """
+        raise NotImplementedError
+
+
+#: Registered backend classes by name, in registration order.
+BACKENDS: Dict[str, Type[Backend]] = {}
+
+
+def register_backend(cls: Type[Backend]) -> Type[Backend]:
+    """Class decorator: register a :class:`Backend` under ``cls.name``.
+
+    Raises:
+        ValueError: on a missing or duplicate name.
+    """
+    if not cls.name:
+        raise ValueError(f"backend class {cls.__name__} has no name")
+    if cls.name in BACKENDS:
+        raise ValueError(f"backend {cls.name!r} is already registered")
+    BACKENDS[cls.name] = cls
+    return cls
+
+
+def get_backend(name: str) -> Type[Backend]:
+    """Resolve a registered backend class by name.
+
+    Raises:
+        KeyError: for an unknown backend name.
+    """
+    if name not in BACKENDS:
+        raise KeyError(
+            f"unknown backend {name!r}; known: {', '.join(BACKENDS)}")
+    return BACKENDS[name]
+
+
+def list_backend_names() -> List[str]:
+    """Registered backend names, in registration order."""
+    return list(BACKENDS)
+
+
+def resolve_shard(shard_index: Optional[int] = None,
+                  shard_count: Optional[int] = None,
+                  ) -> Optional[Tuple[int, int]]:
+    """Resolve shard coordinates: explicit arguments, else the
+    ``REPRO_SHARD`` environment variable (``<index>/<count>``), else
+    ``None`` (unsharded).
+
+    Raises:
+        ValueError: on a half-specified pair, a malformed ``REPRO_SHARD``,
+            or an index outside ``[0, count)``.
+    """
+    if shard_index is None and shard_count is None:
+        env = os.environ.get("REPRO_SHARD", "").strip()
+        if not env:
+            return None
+        try:
+            index_str, count_str = env.split("/")
+            shard_index, shard_count = int(index_str), int(count_str)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SHARD must look like '<index>/<count>' "
+                f"(e.g. '0/4'), got {env!r}") from None
+    if shard_index is None or shard_count is None:
+        raise ValueError(
+            "--shard-index and --shard-count must be given together")
+    if shard_count < 1:
+        raise ValueError(f"shard count must be >= 1, got {shard_count}")
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(
+            f"shard index {shard_index} outside [0, {shard_count})")
+    return shard_index, shard_count
+
+
+def make_backend(name: str, **kwargs) -> Backend:
+    """Instantiate a registered backend by name.
+
+    ``shard`` additionally needs coordinates: pass ``shard_index`` and
+    ``shard_count`` or set ``REPRO_SHARD=<index>/<count>``.
+
+    Raises:
+        KeyError: for an unknown name.
+        ValueError: for ``shard`` without resolvable coordinates.
+    """
+    cls = get_backend(name)
+    if name == "shard" and "shard_index" not in kwargs:
+        shard = resolve_shard()
+        if shard is None:
+            raise ValueError(
+                "the shard backend needs --shard-index/--shard-count "
+                "or REPRO_SHARD=<index>/<count>")
+        kwargs["shard_index"], kwargs["shard_count"] = shard
+    return cls(**kwargs)
+
+
+def resolve_backend(spec: Union[None, str, Backend] = None,
+                    wrap_shard: bool = True) -> Backend:
+    """Resolve a backend specification into an instance.
+
+    ``None`` consults ``REPRO_BACKEND`` and defaults to ``local``; a string
+    is a registry name; an instance passes through unchanged.  When shard
+    coordinates are resolvable from ``REPRO_SHARD`` and no explicit shard
+    backend was requested, the resolved backend is wrapped in a
+    :class:`~repro.analysis.backends.shard.ShardBackend` so exporting
+    ``REPRO_SHARD`` alone shards any run.
+
+    ``wrap_shard=False`` resolves the backend a shard delegates to (its
+    *inner* backend): no shard wrapping, and a ``shard`` selection —
+    explicit or from ``REPRO_BACKEND`` — falls back to ``local``, since
+    shards do not nest.
+    """
+    if isinstance(spec, Backend):
+        return spec
+    name = spec
+    if name is None:
+        name = os.environ.get("REPRO_BACKEND", "").strip() or "local"
+    if name == "shard":
+        if wrap_shard:
+            return make_backend("shard")
+        name = "local"
+    backend = make_backend(name)
+    if wrap_shard:
+        shard = resolve_shard()
+        if shard is not None:
+            from repro.analysis.backends.shard import ShardBackend
+            return ShardBackend(*shard, inner=backend)
+    return backend
+
+
+# Import the bundled backends so they self-register on package import.
+from repro.analysis.backends.local import LocalBackend      # noqa: E402,F401
+from repro.analysis.backends.batched import BatchedBackend  # noqa: E402,F401
+from repro.analysis.backends.shard import (                 # noqa: E402,F401
+    MergeReport,
+    ShardBackend,
+    ShardPlan,
+    merge_results,
+    missing_cells,
+    plan_sweep,
+    shard_of_key,
+)
+
+__all__ = [
+    "Backend",
+    "BACKENDS",
+    "register_backend",
+    "get_backend",
+    "list_backend_names",
+    "make_backend",
+    "resolve_backend",
+    "resolve_shard",
+    "LocalBackend",
+    "BatchedBackend",
+    "ShardBackend",
+    "ShardPlan",
+    "MergeReport",
+    "merge_results",
+    "missing_cells",
+    "plan_sweep",
+    "shard_of_key",
+    "PendingCell",
+    "CellResult",
+]

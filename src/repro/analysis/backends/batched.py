@@ -1,0 +1,121 @@
+"""Batched execution backend: chunk small cells per worker submission.
+
+Scaled-down matrix cells finish in well under a second, at which point the
+per-submission overhead — forking a worker, re-importing the package in the
+child, pickling the ``SystemConfig`` — rivals the simulation itself.  This
+backend amortizes that cost by shipping *batches* of cells per submission:
+the worker function loops :func:`~repro.analysis.parallel.simulate_cell`
+over its batch and returns the payloads in batch order.
+
+Batch size: an explicit ``batch_size`` argument, else the
+``REPRO_BATCH_SIZE`` environment variable, else ``ceil(pending / jobs)`` —
+one batch per worker, the maximal amortization.  Payloads are byte-identical
+to the ``local`` backend's for any batch size (cells are pure functions of
+their inputs; ``tests/test_backends.py`` pins this).
+
+A validation failure in one cell must not discard its batch siblings'
+completed work: the worker reports per-cell outcomes, the parent yields
+(and therefore caches) every successful cell first, and raises the first
+:class:`~repro.analysis.parallel.WorkloadValidationError` only after every
+batch has been drained.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.backends import (Backend, CellResult, PendingCell,
+                                     register_backend)
+
+
+def simulate_cell_batch(
+    config, cells: List[Tuple[str, str]], scale: float, max_cycles: int
+) -> List[Tuple[bool, object]]:
+    """Worker function: run a batch of ``(protocol, workload)`` cells in one
+    process submission.  Returns ``(True, payload)`` or ``(False,
+    validation-error message)`` per cell, in batch order, so one invalid
+    cell cannot discard its siblings' results.  Unexpected exceptions (bugs
+    rather than validation failures) still propagate and fail the batch."""
+    from repro.analysis.parallel import WorkloadValidationError, simulate_cell
+
+    outcomes: List[Tuple[bool, object]] = []
+    for protocol, workload_name in cells:
+        try:
+            outcomes.append(
+                (True, simulate_cell(config, protocol, workload_name, scale,
+                                     max_cycles)))
+        except WorkloadValidationError as exc:
+            outcomes.append((False, str(exc)))
+    return outcomes
+
+
+@register_backend
+class BatchedBackend(Backend):
+    """Chunked process-pool execution to amortize fork + import cost.
+
+    Args:
+        batch_size: cells per worker submission; ``None`` resolves
+            ``REPRO_BATCH_SIZE``, else one batch per worker.
+    """
+
+    name = "batched"
+
+    def __init__(self, batch_size: Optional[int] = None) -> None:
+        if batch_size is None:
+            env = os.environ.get("REPRO_BATCH_SIZE", "").strip()
+            if env:
+                try:
+                    batch_size = int(env)
+                except ValueError:
+                    raise ValueError(
+                        f"REPRO_BATCH_SIZE must be an integer, got {env!r}"
+                    ) from None
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+
+    def _batches(self, pending: List[PendingCell],
+                 jobs: int) -> List[List[PendingCell]]:
+        size = self.batch_size or max(1, math.ceil(len(pending) / jobs))
+        return [pending[i:i + size] for i in range(0, len(pending), size)]
+
+    def run(self, executor, pending: List[PendingCell]) -> Iterator[CellResult]:
+        from repro.analysis.parallel import WorkloadValidationError
+
+        batches = self._batches(pending, executor.jobs)
+        failure: Optional[str] = None
+
+        def drain(batch, outcomes):
+            nonlocal failure
+            for cell, (ok, value) in zip(batch, outcomes):
+                if ok:
+                    yield cell, value
+                elif failure is None:
+                    failure = value
+
+        if executor.jobs == 1 or len(batches) == 1:
+            for batch in batches:
+                outcomes = simulate_cell_batch(
+                    executor.system_config,
+                    [(protocol, workload) for protocol, workload, _ in batch],
+                    executor.scale, executor.max_cycles)
+                yield from drain(batch, outcomes)
+        else:
+            workers = min(executor.jobs, len(batches))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(simulate_cell_batch, executor.system_config,
+                                [(protocol, workload)
+                                 for protocol, workload, _ in batch],
+                                executor.scale, executor.max_cycles): batch
+                    for batch in batches
+                }
+                for future in as_completed(futures):
+                    yield from drain(futures[future], future.result())
+        if failure is not None:
+            # Raised only after every batch drained, so all valid sibling
+            # results were yielded — and cached — first.
+            raise WorkloadValidationError(failure)

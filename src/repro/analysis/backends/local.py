@@ -1,0 +1,46 @@
+"""The default execution backend: one process-pool submission per cell.
+
+This is the PR-1 ``MatrixExecutor.run_cells`` fan-out, extracted behind the
+:class:`~repro.analysis.backends.Backend` interface: cache misses are
+shipped to a ``ProcessPoolExecutor`` one cell per submission, or run inline
+when there is no parallelism to exploit (``jobs == 1`` or a single pending
+cell).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Iterator, List
+
+from repro.analysis.backends import (Backend, CellResult, PendingCell,
+                                     register_backend)
+
+
+@register_backend
+class LocalBackend(Backend):
+    """Per-cell process-pool execution (the default)."""
+
+    name = "local"
+
+    def run(self, executor, pending: List[PendingCell]) -> Iterator[CellResult]:
+        from repro.analysis.parallel import simulate_cell
+
+        if executor.jobs == 1 or len(pending) == 1:
+            for protocol, workload_name, key in pending:
+                payload = simulate_cell(executor.system_config, protocol,
+                                        workload_name, executor.scale,
+                                        executor.max_cycles)
+                yield (protocol, workload_name, key), payload
+            return
+
+        workers = min(executor.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(simulate_cell, executor.system_config, protocol,
+                            workload_name, executor.scale,
+                            executor.max_cycles):
+                (protocol, workload_name, key)
+                for protocol, workload_name, key in pending
+            }
+            for future in as_completed(futures):
+                yield futures[future], future.result()

@@ -67,6 +67,10 @@ class ExperimentRunner:
             ``REPRO_JOBS`` env var → ``os.cpu_count()``; ``1`` is serial).
         cache: optional on-disk :class:`ResultCache`; when supplied,
             previously simulated cells are served from disk.
+        backend: execution-backend name or instance forwarded to the
+            :class:`MatrixExecutor` (``local``/``batched``/``shard``; see
+            :mod:`repro.analysis.backends`).  With a shard backend,
+            ``run_all`` fills in only the cells of that shard.
     """
 
     def __init__(
@@ -78,6 +82,7 @@ class ExperimentRunner:
         max_cycles: int = 200_000_000,
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        backend=None,
     ) -> None:
         self.system_config = system_config or SystemConfig().scaled(num_cores=8)
         self.protocols = list(protocols) if protocols else list(PAPER_CONFIGURATIONS)
@@ -87,7 +92,7 @@ class ExperimentRunner:
         self.baseline = self.protocols[0]
         self.executor = MatrixExecutor(self.system_config, scale=scale,
                                        max_cycles=max_cycles, jobs=jobs,
-                                       cache=cache)
+                                       cache=cache, backend=backend)
         # protocol -> workload -> SystemStats (in-memory memo on top of the
         # executor's on-disk cache)
         self.results: Dict[str, Dict[str, SystemStats]] = {}

@@ -9,10 +9,13 @@ parallel.  This module provides the execution subsystem underneath
   inputs (a :class:`~repro.sim.config.SystemConfig` plus names/scalars) and
   returns the JSON-serializable ``SystemStats.to_dict()`` payload.  This is
   the function shipped to worker processes.
-* :class:`MatrixExecutor` — fans a list of cells out over a
-  ``ProcessPoolExecutor`` (worker count from ``jobs``, the ``REPRO_JOBS``
-  environment variable, or ``os.cpu_count()``) and reassembles
-  :class:`~repro.sim.stats.SystemStats` objects on the parent side.
+* :class:`MatrixExecutor` — resolves cells through the cache and hands the
+  misses to a pluggable **execution backend**
+  (:mod:`repro.analysis.backends`: ``local`` process pool, ``batched``
+  per-worker chunks, ``shard`` for multi-machine partitioning), then
+  reassembles :class:`~repro.sim.stats.SystemStats` objects on the parent
+  side.  Worker count comes from ``jobs``, the ``REPRO_JOBS`` environment
+  variable, or ``os.cpu_count()``.
 * :class:`ResultCache` — a content-addressed on-disk cache (default location
   ``benchmarks/results/cache/``).  The key is the SHA-256 of the canonical
   JSON of (system configuration, protocol name, workload name, scale,
@@ -32,10 +35,9 @@ import hashlib
 import json
 import os
 import sys
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.sim.config import SystemConfig
 from repro.sim.stats import STATS_SCHEMA_VERSION, SystemStats
@@ -78,6 +80,29 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
         else:
             jobs = os.cpu_count() or 1
     return max(1, int(jobs))
+
+
+def cell_key(config: SystemConfig, protocol: str, workload_name: str,
+             scale: float, max_cycles: int) -> str:
+    """Content-addressed key of one cell: the SHA-256 of the canonical JSON
+    of every input that determines its result.
+
+    The key is host-independent — a pure function of the experiment inputs
+    and the two schema versions — which is what makes both the on-disk
+    cache shareable across machines and the shard planner
+    (:mod:`repro.analysis.backends.shard`) coordinator-free.
+    """
+    payload = {
+        "cache_schema": CACHE_SCHEMA_VERSION,
+        "stats_schema": STATS_SCHEMA_VERSION,
+        "config": asdict(config),
+        "protocol": protocol,
+        "workload": workload_name,
+        "scale": scale,
+        "max_cycles": max_cycles,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def simulate_cell(config: SystemConfig, protocol: str, workload_name: str,
@@ -129,18 +154,9 @@ class ResultCache:
 
     def key(self, config: SystemConfig, protocol: str, workload_name: str,
             scale: float, max_cycles: int) -> str:
-        """Compute the content-addressed key for one cell."""
-        payload = {
-            "cache_schema": CACHE_SCHEMA_VERSION,
-            "stats_schema": STATS_SCHEMA_VERSION,
-            "config": asdict(config),
-            "protocol": protocol,
-            "workload": workload_name,
-            "scale": scale,
-            "max_cycles": max_cycles,
-        }
-        blob = json.dumps(payload, sort_keys=True, default=str)
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        """Compute the content-addressed key for one cell
+        (:func:`cell_key`)."""
+        return cell_key(config, protocol, workload_name, scale, max_cycles)
 
     def path(self, key: str) -> Path:
         """Filesystem location of the entry for ``key``."""
@@ -201,6 +217,12 @@ class MatrixExecutor:
         jobs: worker-process count (``None`` → ``REPRO_JOBS`` env var →
             ``os.cpu_count()``).  ``1`` runs everything in-process.
         cache: optional :class:`ResultCache`; ``None`` disables persistence.
+        backend: how cache misses are executed — a registered backend name
+            (``local``, ``batched``, ``shard``), a
+            :class:`~repro.analysis.backends.Backend` instance, or ``None``
+            (``REPRO_BACKEND`` env var → ``local``).  A shard backend
+            executes only its own subset of the cells; see
+            :mod:`repro.analysis.backends`.
 
     Attributes:
         simulations_run: number of cells actually simulated (cache misses)
@@ -215,12 +237,16 @@ class MatrixExecutor:
         max_cycles: int = 200_000_000,
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        backend: Union[None, str, "Backend"] = None,
     ) -> None:
+        from repro.analysis.backends import resolve_backend
+
         self.system_config = system_config
         self.scale = scale
         self.max_cycles = max_cycles
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
+        self.backend = resolve_backend(backend)
         self.simulations_run = 0
 
     # ------------------------------------------------------------------ cache
@@ -240,18 +266,32 @@ class MatrixExecutor:
     # ------------------------------------------------------------------ running
 
     def run_cell(self, workload_name: str, protocol: str) -> SystemStats:
-        """Run (or fetch from cache) a single cell."""
+        """Run (or fetch from cache) a single cell.
+
+        Raises:
+            KeyError: if the backend declined the cell (a shard backend
+                only executes its own shard).
+        """
         results = self.run_cells([(protocol, workload_name)])
-        return results[(protocol, workload_name)]
+        try:
+            return results[(protocol, workload_name)]
+        except KeyError:
+            raise KeyError(
+                f"cell ({protocol!r}, {workload_name!r}) was not executed "
+                f"by the {self.backend.name!r} backend (sharded run?)"
+            ) from None
 
     def run_cells(
         self, cells: Sequence[Tuple[str, str]]
     ) -> Dict[Tuple[str, str], SystemStats]:
         """Run many ``(protocol, workload)`` cells, parallelizing the misses.
 
-        Cached cells are served from disk; the remainder are fanned out over
-        a process pool (or run inline when ``jobs == 1`` or only one cell is
-        missing).  Returns a dict keyed by the ``(protocol, workload)`` pair.
+        Cached cells are served from disk; the remainder are handed to the
+        execution backend (the default ``local`` backend fans them out over
+        a process pool, or runs inline when ``jobs == 1`` or only one cell
+        is missing).  Returns a dict keyed by the ``(protocol, workload)``
+        pair; a shard backend executes — and returns — only the cells of
+        its shard.
         """
         results: Dict[Tuple[str, str], SystemStats] = {}
         pending: List[Tuple[str, str, Optional[str]]] = []
@@ -265,40 +305,35 @@ class MatrixExecutor:
         if not pending:
             return results
 
-        if self.jobs == 1 or len(pending) == 1:
-            for protocol, workload_name, key in pending:
-                payload = simulate_cell(self.system_config, protocol,
-                                        workload_name, self.scale,
-                                        self.max_cycles)
-                self.simulations_run += 1
-                self._store(key, payload)
-                results[(protocol, workload_name)] = SystemStats.from_dict(payload)
-            return results
-
-        workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(simulate_cell, self.system_config, protocol,
-                            workload_name, self.scale, self.max_cycles):
-                (protocol, workload_name, key)
-                for protocol, workload_name, key in pending
-            }
-            for future in as_completed(futures):
-                protocol, workload_name, key = futures[future]
-                payload = future.result()
-                self.simulations_run += 1
-                self._store(key, payload)
-                results[(protocol, workload_name)] = SystemStats.from_dict(payload)
+        for (protocol, workload_name, key), payload in \
+                self.backend.run(self, pending):
+            self.simulations_run += 1
+            self._store(key, payload)
+            results[(protocol, workload_name)] = SystemStats.from_dict(payload)
         return results
 
     def run_matrix(
         self, protocols: Iterable[str], workloads: Iterable[str]
     ) -> Dict[str, Dict[str, SystemStats]]:
-        """Run the full cross product and return ``{protocol: {workload: stats}}``."""
+        """Run the full cross product and return ``{protocol: {workload: stats}}``.
+
+        Raises:
+            KeyError: if the backend declined any cell — a full matrix
+                cannot be assembled from a sharded run.
+        """
         protocols = list(protocols)
         workloads = list(workloads)
         flat = self.run_cells([(p, w) for p in protocols for w in workloads])
         matrix: Dict[str, Dict[str, SystemStats]] = {}
         for protocol in protocols:
-            matrix[protocol] = {w: flat[(protocol, w)] for w in workloads}
+            matrix[protocol] = {}
+            for workload_name in workloads:
+                try:
+                    matrix[protocol][workload_name] = flat[(protocol, workload_name)]
+                except KeyError:
+                    raise KeyError(
+                        f"cell ({protocol!r}, {workload_name!r}) was not "
+                        f"executed by the {self.backend.name!r} backend "
+                        f"(sharded run?); run_matrix needs every cell"
+                    ) from None
         return matrix

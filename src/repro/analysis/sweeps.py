@@ -33,7 +33,7 @@ A quick sanity doctest (also exercised by CI):
 >>> len(spec.cells()) == len(spec.protocols) * len(spec.workloads)
 True
 >>> sorted(s.name for s in list_sweeps())[:2]
-['access-counter', 'decay']
+['access-counter', 'ci-smoke']
 """
 
 from __future__ import annotations
@@ -139,16 +139,28 @@ class SweepSpec:
     # ------------------------------------------------------------------ running
 
     def run(self, jobs: Optional[int] = None,
-            cache: Optional[ResultCache] = None) -> "SweepResult":
+            cache: Optional[ResultCache] = None,
+            backend=None) -> "SweepResult":
         """Expand and execute every cell through the cached, parallel
         :class:`MatrixExecutor` (one executor per platform point, since the
         platform configuration and scale are part of the cache key).
+
+        Args:
+            jobs: worker-process count per platform point.
+            cache: optional on-disk result cache shared by every cell.
+            backend: execution-backend name or instance forwarded to the
+                :class:`MatrixExecutor` (see :mod:`repro.analysis.backends`).
+                A shard backend executes only its own subset of the cells,
+                leaving the :class:`SweepResult` partial
+                (``SweepResult.complete`` is ``False``).
 
         Raises:
             KeyError: if a protocol name is not registered.
             WorkloadValidationError: if any cell produces functionally
                 invalid results (protocol correctness bug).
         """
+        from repro.analysis.backends import resolve_backend
+
         known = set(list_protocol_names())
         missing = [p for p in self.protocols if p not in known]
         if missing:
@@ -156,6 +168,7 @@ class SweepSpec:
                 f"sweep {self.name!r} references unregistered protocols: "
                 f"{', '.join(missing)}"
             )
+        backend = resolve_backend(backend)
         stats: Dict[Tuple[str, str, int, float], SystemStats] = {}
         simulations = 0
         for cores in self.cores:
@@ -166,6 +179,7 @@ class SweepSpec:
                     max_cycles=self.max_cycles,
                     jobs=jobs,
                     cache=cache,
+                    backend=backend,
                 )
                 cell_stats = executor.run_cells(
                     [(protocol, workload)
@@ -182,6 +196,11 @@ class SweepSpec:
 class SweepResult:
     """Executed sweep: per-cell statistics plus tabulation helpers.
 
+    A sharded execution (``SweepSpec.run(backend=ShardBackend(...))``)
+    yields a *partial* result: ``stats`` holds only the shard's cells (plus
+    whatever the cache already had).  ``complete`` distinguishes the two;
+    the per-mix aggregations refuse to sum over holes.
+
     Attributes:
         spec: the sweep that was run.
         stats: ``(protocol, workload, cores, scale) -> SystemStats``.
@@ -193,11 +212,20 @@ class SweepResult:
     stats: Dict[Tuple[str, str, int, float], SystemStats]
     simulations_run: int = 0
 
+    @property
+    def complete(self) -> bool:
+        """Whether every cell of the spec's expansion has statistics."""
+        return all((protocol, workload, cores, scale) in self.stats
+                   for cores, scale, protocol, workload in self.spec.cells())
+
     def cell_rows(self) -> List[Dict[str, object]]:
-        """One row per cell with every metric of the spec."""
+        """One row per *executed* cell with every metric of the spec
+        (cells a shard backend skipped are simply absent)."""
         rows: List[Dict[str, object]] = []
         for cores, scale, protocol, workload in self.spec.cells():
-            cell = self.stats[(protocol, workload, cores, scale)]
+            cell = self.stats.get((protocol, workload, cores, scale))
+            if cell is None:
+                continue
             row: Dict[str, object] = {
                 "protocol": protocol, "workload": workload,
                 "cores": cores, "scale": scale,
@@ -209,7 +237,17 @@ class SweepResult:
 
     def rows(self) -> List[Dict[str, object]]:
         """One row per (variant, cores, scale): metrics summed over the
-        workload mix — the quantity the ablation studies compare."""
+        workload mix — the quantity the ablation studies compare.
+
+        Raises:
+            ValueError: on a partial (sharded) result, where summing over
+                the mix would silently compare unequal subsets.
+        """
+        if not self.complete:
+            raise ValueError(
+                f"sweep {self.spec.name!r} result is partial (sharded "
+                f"run?): {len(self.stats)} of {self.spec.num_cells} cells; "
+                f"merge every shard before aggregating")
         rows: List[Dict[str, object]] = []
         for cores in self.spec.cores:
             for scale in self.spec.scales:
@@ -242,10 +280,12 @@ class SweepResult:
                 for row in self.rows()}
 
     def tabulate(self, per_cell: bool = False) -> str:
-        """Render the sweep as an aligned plain-text table."""
+        """Render the sweep as an aligned plain-text table.  Partial
+        (sharded) results always tabulate per cell — per-mix sums over an
+        incomplete workload set would be meaningless."""
         from repro.analysis.tables import format_table
 
-        rows = self.cell_rows() if per_cell else self.rows()
+        rows = self.cell_rows() if per_cell or not self.complete else self.rows()
         title = (f"Sweep {self.spec.name} — {self.spec.description} "
                  f"(workloads: {', '.join(self.spec.workloads)})")
         return format_table(rows, title=title)
@@ -339,6 +379,20 @@ PROTOCOL_BASELINES_SWEEP = register_sweep(SweepSpec(
     protocols=("MESI", "MSI", "MOESI", "Broadcast", "TSO-CC-4-12-3"),
     workloads=("fft", "dedup", "intruder"),
     cores=(4, 8),
+    scales=(0.2,),
+    metrics=("cycles", "flits", "messages"),
+))
+
+#: Small cross-family smoke matrix sized for CI sharding: 8 cells on a
+#: 2-core platform, split across the shard jobs by ``repro shard run`` and
+#: reassembled by the merge job (see the "Sharding a sweep across
+#: machines/CI" guide in EXPERIMENTS.md).
+CI_SMOKE_SWEEP = register_sweep(SweepSpec(
+    name="ci-smoke",
+    description="small cross-family matrix for sharded CI smoke jobs",
+    protocols=("MESI", "MSI", "TSO-CC-4-12-3", "Broadcast"),
+    workloads=("fft", "intruder"),
+    cores=(2,),
     scales=(0.2,),
     metrics=("cycles", "flits", "messages"),
 ))

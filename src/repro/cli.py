@@ -8,6 +8,9 @@ Exposes the most common operations without writing Python::
     python -m repro figure 3 --workloads fft,radix --scale 0.3 --jobs 8
     python -m repro sweep --list                  # registered sensitivity sweeps
     python -m repro sweep timestamp-bits --jobs 8
+    python -m repro shard plan ci-smoke --shard-count 4
+    python -m repro shard run ci-smoke --shard-index 1 --shard-count 4
+    python -m repro shard merge ci-smoke --from shard-dir-0 --from shard-dir-1
     python -m repro storage --cores 32,64,128
     python -m repro litmus --protocol TSO-CC-4-12-3 --iterations 10
 
@@ -15,11 +18,15 @@ Every sub-command prints a plain-text table (the same renderers the
 benchmark harness uses) and exits non-zero if a correctness check fails
 (invalid workload results or a forbidden litmus outcome).
 
-The experiment commands (``run``, ``figure``) fan independent simulations
-out over worker processes (``--jobs``, default from ``REPRO_JOBS`` or the
-CPU count) and reuse previously simulated cells from the on-disk result
-cache in ``benchmarks/results/cache/`` unless ``--no-cache`` is given; see
-EXPERIMENTS.md.
+The experiment commands (``run``, ``figure``, ``sweep``) fan independent
+simulations out over worker processes (``--jobs``, default from
+``REPRO_JOBS`` or the CPU count) through a pluggable execution backend
+(``--backend`` / ``REPRO_BACKEND``: ``local``, ``batched`` or ``shard``
+with ``--shard-index``/``--shard-count`` / ``REPRO_SHARD``), and reuse
+previously simulated cells from the on-disk result cache in
+``benchmarks/results/cache/`` unless ``--no-cache`` is given.  The
+``shard`` sub-command plans, runs and merges multi-machine/CI shards of a
+registered sweep; see EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -29,6 +36,10 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.analysis.backends import (ShardBackend, list_backend_names,
+                                     make_backend, merge_results,
+                                     missing_cells, plan_sweep,
+                                     resolve_backend, resolve_shard)
 from repro.analysis.experiments import ExperimentRunner
 from repro.analysis.parallel import (DEFAULT_CACHE_DIR, ResultCache,
                                      WorkloadValidationError,
@@ -77,25 +88,65 @@ def _make_cache(args: argparse.Namespace) -> ResultCache:
     return ResultCache(Path(args.cache_dir), enabled=not args.no_cache)
 
 
+def _make_backend(args: argparse.Namespace):
+    """Build the execution backend from ``--backend`` and the shard flags.
+
+    Returns a backend specification for ``MatrixExecutor``/``SweepSpec.run``
+    (an instance, a name, or ``None`` to defer to ``REPRO_BACKEND``).
+    Explicit shard coordinates wrap the chosen backend — flag, else
+    ``REPRO_BACKEND``, else ``local`` — in a :class:`ShardBackend`.
+
+    Raises:
+        ValueError: on half-specified shard coordinates or ``--backend
+            shard`` without resolvable coordinates.
+        KeyError: on an unknown ``REPRO_BACKEND`` name.
+    """
+    name = getattr(args, "backend", None)
+    shard = resolve_shard(getattr(args, "shard_index", None),
+                          getattr(args, "shard_count", None))
+    if shard is not None:
+        return ShardBackend(*shard,
+                            inner=resolve_backend(name, wrap_shard=False))
+    if name == "shard":
+        # No explicit coordinates; make_backend falls back to REPRO_SHARD
+        # and raises a clear error when that is unset too.
+        return make_backend("shard")
+    return name
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     protocols = args.protocol or ["MESI", "TSO-CC-4-12-3"]
-    runner = ExperimentRunner(
-        system_config=SystemConfig().scaled(num_cores=args.cores),
-        protocols=protocols,
-        workloads=[args.workload],
-        scale=args.scale,
-        max_cycles=args.max_cycles,
-        jobs=args.jobs,
-        cache=_make_cache(args),
-    )
+    try:
+        # Backend resolution can also fail inside the executor (env-driven
+        # selection: REPRO_BACKEND/REPRO_SHARD), so construction is guarded
+        # too; KeyError is an unknown backend name.
+        runner = ExperimentRunner(
+            system_config=SystemConfig().scaled(num_cores=args.cores),
+            protocols=protocols,
+            workloads=[args.workload],
+            scale=args.scale,
+            max_cycles=args.max_cycles,
+            jobs=args.jobs,
+            cache=_make_cache(args),
+            backend=_make_backend(args),
+        )
+    except (ValueError, KeyError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
     try:
         runner.run_all()
     except WorkloadValidationError as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
         return 1
     rows = []
+    skipped = []
     for protocol in protocols:
-        summary = runner.results[protocol][args.workload].summary()
+        stats = runner.results.get(protocol, {}).get(args.workload)
+        if stats is None:
+            # A shard backend only executes the cells of its shard.
+            skipped.append(protocol)
+            continue
+        summary = stats.summary()
         rows.append({
             "protocol": protocol,
             "valid": True,
@@ -106,18 +157,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "avg_rmw_latency": summary["avg_rmw_latency"],
         })
     print(format_table(rows, title=f"{args.workload} ({args.cores} cores, scale {args.scale})"))
+    if skipped:
+        print(f"(skipped by shard backend: {', '.join(skipped)})")
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(
-        system_config=SystemConfig().scaled(num_cores=args.cores),
-        protocols=_split(args.protocols),
-        workloads=_split(args.workloads),
-        scale=args.scale,
-        jobs=args.jobs,
-        cache=_make_cache(args),
-    )
+    try:
+        runner = ExperimentRunner(
+            system_config=SystemConfig().scaled(num_cores=args.cores),
+            protocols=_split(args.protocols),
+            workloads=_split(args.workloads),
+            scale=args.scale,
+            jobs=args.jobs,
+            cache=_make_cache(args),
+            backend=getattr(args, "backend", None),
+        )
+    except (ValueError, KeyError) as exc:
+        # Bad backend selection (e.g. REPRO_BACKEND=shard without
+        # coordinates, or an unknown backend name).
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    if isinstance(runner.executor.backend, ShardBackend):
+        # A figure needs every cell of its matrix; refuse up front instead
+        # of simulating one shard and crashing on the first missing cell.
+        print("repro figure needs the full matrix and cannot run sharded; "
+              "unset REPRO_SHARD or drop --backend shard (shard a sweep "
+              "with 'repro shard run' instead)", file=sys.stderr)
+        return 2
     methods = {
         "2": runner.figure2_storage,
         "3": runner.figure3_execution_time,
@@ -165,16 +232,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(format_table(rows, title="Registered sensitivity sweeps"))
         return 0
     try:
-        spec = get_sweep(args.name)
-    except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
+        spec = _sharded_spec(args)
+    except (KeyError, ValueError) as exc:
+        # Unknown sweep name, or malformed --cores/--scales overrides.
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
         return 2
-    spec = spec.subset(
-        protocols=_split(args.protocols),
-        workloads=_split(args.workloads),
-        cores=[int(c) for c in _split(args.cores) or []] or None,
-        scales=[float(s) for s in _split(args.scales) or []] or None,
-    )
     if args.cells:
         rows = [{"cores": cores, "scale": scale, "protocol": protocol,
                  "workload": workload}
@@ -183,7 +245,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 0
     cache = _make_cache(args)
     try:
-        result = spec.run(jobs=args.jobs, cache=cache)
+        backend = _make_backend(args)
+        result = spec.run(jobs=args.jobs, cache=cache, backend=backend)
+    except ValueError as exc:
+        # Bad backend/shard flags.
+        print(exc, file=sys.stderr)
+        return 2
     except KeyError as exc:
         # e.g. a typo in --protocols: unregistered configuration names.
         print(exc.args[0], file=sys.stderr)
@@ -193,8 +260,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 1
     table = result.tabulate(per_cell=args.per_cell)
     print(table)
-    print(f"({spec.num_cells} cells: {result.simulations_run} simulated, "
-          f"{spec.num_cells - result.simulations_run} from cache)")
+    executed = len(result.stats)
+    print(f"({executed} of {spec.num_cells} cells executed: "
+          f"{result.simulations_run} simulated, "
+          f"{executed - result.simulations_run} from cache)")
     if args.save:
         results_dir = Path(args.results_dir)
         results_dir.mkdir(parents=True, exist_ok=True)
@@ -202,6 +271,145 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         out.write_text(table + "\n", encoding="utf-8")
         print(f"saved {out}")
     return 0
+
+
+def _sharded_spec(args: argparse.Namespace):
+    """Resolve a named sweep with its axis overrides (shared by ``repro
+    sweep`` and the ``repro shard`` sub-commands).
+
+    Raises:
+        KeyError: unknown sweep name, or ``--protocols`` naming an
+            unregistered configuration (caught here so ``shard plan`` does
+            not emit manifests that can only fail at run time).
+        ValueError: malformed ``--cores``/``--scales`` overrides.
+    """
+    spec = get_sweep(args.name).subset(
+        protocols=_split(getattr(args, "protocols", None)),
+        workloads=_split(getattr(args, "workloads", None)),
+        cores=[int(c) for c in _split(getattr(args, "cores", None)) or []] or None,
+        scales=[float(s) for s in _split(getattr(args, "scales", None)) or []] or None,
+    )
+    unknown = [p for p in spec.protocols if p not in set(list_protocol_names())]
+    if unknown:
+        raise KeyError(
+            f"sweep {spec.name!r} references unregistered protocols: "
+            f"{', '.join(unknown)}")
+    return spec
+
+
+def _cmd_shard_plan(args: argparse.Namespace) -> int:
+    try:
+        spec = _sharded_spec(args)
+        shard_count = args.shard_count
+        if shard_count is None:
+            shard = resolve_shard()
+            shard_count = shard[1] if shard is not None else None
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    if shard_count is None:
+        print("shard plan needs --shard-count (or REPRO_SHARD=<index>/<count>)",
+              file=sys.stderr)
+        return 2
+    if shard_count < 1:
+        print(f"shard count must be >= 1, got {shard_count}", file=sys.stderr)
+        return 2
+    plan = plan_sweep(spec, shard_count)
+    if args.out_dir:
+        for path in plan.write(args.out_dir):
+            print(f"wrote {path}")
+    else:
+        rows = [{"shard": cell.shard, "cores": cell.cores,
+                 "scale": cell.scale, "protocol": cell.protocol,
+                 "workload": cell.workload, "key": cell.key[:12]}
+                for cell in plan.cells]
+        print(format_table(
+            rows,
+            title=f"Sweep {spec.name}: {len(plan.cells)} cells "
+                  f"over {shard_count} shards"))
+    sizes = plan.shard_sizes()
+    print("cells per shard: "
+          + ", ".join(f"{i}:{n}" for i, n in enumerate(sizes)))
+    return 0
+
+
+def _cmd_shard_run(args: argparse.Namespace) -> int:
+    try:
+        spec = _sharded_spec(args)
+        shard = resolve_shard(args.shard_index, args.shard_count)
+        if shard is None:
+            raise ValueError(
+                "shard run needs --shard-index/--shard-count "
+                "or REPRO_SHARD=<index>/<count>")
+        backend = ShardBackend(
+            *shard, inner=resolve_backend(args.backend, wrap_shard=False))
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    try:
+        result = spec.run(jobs=args.jobs, cache=_make_cache(args),
+                          backend=backend)
+    except KeyError as exc:
+        # Unregistered protocol names that slipped past the subset check.
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    except WorkloadValidationError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    owned = {(cell.protocol, cell.workload, cell.cores, cell.scale)
+             for cell in plan_sweep(spec, shard[1]).shard_cells(shard[0])}
+    print(result.tabulate(per_cell=True))
+    # A warm shared cache can hand back cells of *other* shards too; the
+    # footer accounts only for this shard's own cells.
+    owned_executed = sum(1 for cell in result.stats if cell in owned)
+    print(f"(shard {shard[0]}/{shard[1]}: owns {len(owned)} of "
+          f"{spec.num_cells} cells; {result.simulations_run} simulated, "
+          f"{owned_executed - result.simulations_run} owned from cache)")
+    return 0
+
+
+def _cmd_shard_merge(args: argparse.Namespace) -> int:
+    spec = None
+    if args.name:
+        # Resolve the sweep before touching the destination cache so a bad
+        # name or malformed axis override fails before any merging happens.
+        try:
+            spec = _sharded_spec(args)
+        except (KeyError, ValueError) as exc:
+            print(exc.args[0] if exc.args else exc, file=sys.stderr)
+            return 2
+    dest = ResultCache(Path(args.cache_dir))
+    try:
+        report = merge_results(args.sources, dest)
+    except (OSError, ValueError) as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    print(f"merged {report.merged} entries from {len(args.sources)} "
+          f"director{'y' if len(args.sources) == 1 else 'ies'} into "
+          f"{dest.root} ({report.already_present} already present, "
+          f"{report.invalid} invalid)")
+    if spec is not None:
+        missing = missing_cells(spec, dest)
+        if missing:
+            print(f"INCOMPLETE: {len(missing)} of {spec.num_cells} cells of "
+                  f"sweep {spec.name!r} missing after merge:", file=sys.stderr)
+            for cell in missing:
+                print(f"  {cell.protocol} x {cell.workload} "
+                      f"(cores {cell.cores}, scale {cell.scale})",
+                      file=sys.stderr)
+            return 1
+        print(f"complete: all {spec.num_cells} cells of sweep "
+              f"{spec.name!r} present")
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    handlers = {
+        "plan": _cmd_shard_plan,
+        "run": _cmd_shard_run,
+        "merge": _cmd_shard_merge,
+    }
+    return handlers[args.shard_command](args)
 
 
 def _cmd_storage(args: argparse.Namespace) -> int:
@@ -241,13 +449,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_executor_flags(command: argparse.ArgumentParser) -> None:
+    def add_executor_flags(command: argparse.ArgumentParser,
+                           backend_choices: Optional[List[str]] = None) -> None:
         command.add_argument("--jobs", type=int, default=None,
                              help="worker processes (default: REPRO_JOBS or CPU count)")
         command.add_argument("--no-cache", action="store_true",
                              help="ignore and do not update the on-disk result cache")
         command.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
                              help="result cache directory (default: benchmarks/results/cache)")
+        command.add_argument("--backend",
+                             choices=backend_choices or list_backend_names(),
+                             default=None,
+                             help="execution backend (default: REPRO_BACKEND "
+                                  "or local)")
+
+    def add_shard_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--shard-index", type=int, default=None,
+                             help="run only this shard of the cell list "
+                                  "(default: REPRO_SHARD=<index>/<count>)")
+        command.add_argument("--shard-count", type=int, default=None,
+                             help="total number of disjoint shards")
+
+    def add_axis_overrides(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--protocols", help="override: comma-separated variant names")
+        command.add_argument("--workloads", help="override: comma-separated workload subset")
+        command.add_argument("--cores", help="override: comma-separated core counts")
+        command.add_argument("--scales", help="override: comma-separated scale factors")
 
     sub.add_parser("list", help="list protocol configurations and workloads")
 
@@ -265,6 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=float, default=0.35)
     run.add_argument("--max-cycles", type=int, default=200_000_000)
     add_executor_flags(run)
+    add_shard_flags(run)
 
     figure = sub.add_parser("figure", help="regenerate one figure of the paper")
     figure.add_argument("number", help="figure number (2-9)")
@@ -291,15 +519,56 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--per-cell", action="store_true",
                        help="tabulate per (variant, workload) cell instead of "
                             "summing over the workload mix")
-    sweep.add_argument("--protocols", help="override: comma-separated variant names")
-    sweep.add_argument("--workloads", help="override: comma-separated workload subset")
-    sweep.add_argument("--cores", help="override: comma-separated core counts")
-    sweep.add_argument("--scales", help="override: comma-separated scale factors")
+    add_axis_overrides(sweep)
     sweep.add_argument("--save", action="store_true",
                        help="also write the table to the results directory")
     sweep.add_argument("--results-dir", default=str(DEFAULT_RESULTS_DIR),
                        help="directory for --save (default: benchmarks/results)")
     add_executor_flags(sweep)
+    add_shard_flags(sweep)
+
+    shard = sub.add_parser(
+        "shard",
+        help="plan, run and merge sharded executions of a registered sweep")
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    shard_plan = shard_sub.add_parser(
+        "plan",
+        help="partition a sweep's cells into N disjoint shard manifests")
+    shard_plan.add_argument("name", nargs="?", default="timestamp-bits",
+                            help="registered sweep name (default: "
+                                 "timestamp-bits; see 'repro sweep --list')")
+    shard_plan.add_argument("--shard-count", type=int, default=None,
+                            help="number of disjoint shards (default: the "
+                                 "count of REPRO_SHARD=<index>/<count>)")
+    shard_plan.add_argument("--out-dir", default=None,
+                            help="write shard-<i>-of-<n>.json manifests "
+                                 "here instead of printing the assignment")
+    add_axis_overrides(shard_plan)
+
+    shard_run = shard_sub.add_parser(
+        "run", help="run one shard of a sweep (no coordinator needed)")
+    shard_run.add_argument("name", nargs="?", default="timestamp-bits",
+                           help="registered sweep name (default: "
+                                "timestamp-bits; see 'repro sweep --list')")
+    add_shard_flags(shard_run)
+    add_axis_overrides(shard_run)
+    # The inner backend executes the shard's cells; 'shard' cannot nest.
+    add_executor_flags(shard_run, backend_choices=["local", "batched"])
+
+    shard_merge = shard_sub.add_parser(
+        "merge",
+        help="merge shard result directories into one result cache")
+    shard_merge.add_argument("name", nargs="?", default=None,
+                             help="sweep to verify completeness against "
+                                  "after merging (exit 1 if cells missing)")
+    shard_merge.add_argument("--from", dest="sources", action="append",
+                             required=True, metavar="DIR",
+                             help="shard result directory (repeatable)")
+    shard_merge.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                             help="destination result cache "
+                                  "(default: benchmarks/results/cache)")
+    add_axis_overrides(shard_merge)
 
     storage = sub.add_parser("storage", help="print the Figure 2 storage model")
     storage.add_argument("--cores", help="comma-separated core counts")
@@ -322,6 +591,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "figure": _cmd_figure,
         "sweep": _cmd_sweep,
+        "shard": _cmd_shard,
         "storage": _cmd_storage,
         "litmus": _cmd_litmus,
     }

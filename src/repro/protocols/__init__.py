@@ -13,7 +13,7 @@
 * :mod:`repro.protocols.mesi` — the MESI directory protocol with a full
   sharing vector: the paper's baseline.
 * :mod:`repro.protocols.tsocc` — the TSO-CC protocol family: the paper's
-  contribution (previously at ``repro.core``).
+  contribution.
 * :mod:`repro.protocols.msi` — an MSI baseline (MESI minus E) added purely
   through the plugin API; the worked example for adding protocols.
 * :mod:`repro.protocols.moesi` — MOESI (MESI + Owned): owner forwarding and

@@ -21,8 +21,9 @@ The storage-overhead model of Table 1 / Figure 2 lives in
 :mod:`repro.protocols.tsocc.storage`; the registered plugin in
 :mod:`repro.protocols.tsocc.protocol`.
 
-(Until PR 2 this package lived at ``repro.core``; a deprecation shim keeps
-those imports working.)
+(Until PR 2 this package lived at ``repro.core``; the deprecation shims
+left behind by the move were removed in PR 4, per the two-PR-cycle removal
+policy.)
 """
 
 from repro.protocols.tsocc.config import (

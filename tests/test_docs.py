@@ -66,6 +66,6 @@ def test_design_md_covers_its_citations():
 
 def test_readme_quickstart_mentions_the_cli_surface():
     text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-    for needle in ("repro protocols", "repro sweep", "pytest",
+    for needle in ("repro protocols", "repro sweep", "repro shard", "pytest",
                    "EXPERIMENTS.md", "DESIGN.md"):
         assert needle in text, f"README.md must mention {needle!r}"
