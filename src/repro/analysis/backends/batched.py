@@ -32,21 +32,24 @@ from repro.analysis.backends import (Backend, CellResult, PendingCell,
 
 
 def simulate_cell_batch(
-    config, cells: List[Tuple[str, str]], scale: float, max_cycles: int
+    simulate, config, cells: List[Tuple[str, str]], scale: float,
+    max_cycles: int
 ) -> List[Tuple[bool, object]]:
     """Worker function: run a batch of ``(protocol, workload)`` cells in one
-    process submission.  Returns ``(True, payload)`` or ``(False,
-    validation-error message)`` per cell, in batch order, so one invalid
-    cell cannot discard its siblings' results.  Unexpected exceptions (bugs
-    rather than validation failures) still propagate and fail the batch."""
-    from repro.analysis.parallel import WorkloadValidationError, simulate_cell
+    process submission.  ``simulate`` is the cell kind's work function
+    (:class:`~repro.analysis.parallel.CellKind`), pickled by reference.
+    Returns ``(True, payload)`` or ``(False, validation-error message)``
+    per cell, in batch order, so one invalid cell cannot discard its
+    siblings' results.  Unexpected exceptions (bugs rather than validation
+    failures) still propagate and fail the batch."""
+    from repro.analysis.parallel import WorkloadValidationError
 
     outcomes: List[Tuple[bool, object]] = []
     for protocol, workload_name in cells:
         try:
             outcomes.append(
-                (True, simulate_cell(config, protocol, workload_name, scale,
-                                     max_cycles)))
+                (True, simulate(config, protocol, workload_name, scale,
+                                max_cycles)))
         except WorkloadValidationError as exc:
             outcomes.append((False, str(exc)))
     return outcomes
@@ -96,10 +99,11 @@ class BatchedBackend(Backend):
                 elif failure is None:
                     failure = value
 
+        simulate = executor.kind.simulate
         if executor.jobs == 1 or len(batches) == 1:
             for batch in batches:
                 outcomes = simulate_cell_batch(
-                    executor.system_config,
+                    simulate, executor.system_config,
                     [(protocol, workload) for protocol, workload, _ in batch],
                     executor.scale, executor.max_cycles)
                 yield from drain(batch, outcomes)
@@ -107,7 +111,8 @@ class BatchedBackend(Backend):
             workers = min(executor.jobs, len(batches))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    pool.submit(simulate_cell_batch, executor.system_config,
+                    pool.submit(simulate_cell_batch, simulate,
+                                executor.system_config,
                                 [(protocol, workload)
                                  for protocol, workload, _ in batch],
                                 executor.scale, executor.max_cycles): batch

@@ -23,20 +23,20 @@ class LocalBackend(Backend):
     name = "local"
 
     def run(self, executor, pending: List[PendingCell]) -> Iterator[CellResult]:
-        from repro.analysis.parallel import simulate_cell
+        simulate = executor.kind.simulate
 
         if executor.jobs == 1 or len(pending) == 1:
             for protocol, workload_name, key in pending:
-                payload = simulate_cell(executor.system_config, protocol,
-                                        workload_name, executor.scale,
-                                        executor.max_cycles)
+                payload = simulate(executor.system_config, protocol,
+                                   workload_name, executor.scale,
+                                   executor.max_cycles)
                 yield (protocol, workload_name, key), payload
             return
 
         workers = min(executor.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(simulate_cell, executor.system_config, protocol,
+                pool.submit(simulate, executor.system_config, protocol,
                             workload_name, executor.scale,
                             executor.max_cycles):
                 (protocol, workload_name, key)

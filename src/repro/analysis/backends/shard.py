@@ -85,7 +85,8 @@ class ShardBackend(Backend):
             # regardless, and computing one is pure and cheap.
             resolved_key = key or cell_key(executor.system_config, protocol,
                                            workload_name, executor.scale,
-                                           executor.max_cycles)
+                                           executor.max_cycles,
+                                           kind=executor.kind)
             if self.owns(resolved_key):
                 mine.append((protocol, workload_name, key))
         if mine:
@@ -167,17 +168,19 @@ def plan_sweep(spec, shard_count: int) -> ShardPlan:
     """Partition a sweep's cell expansion into ``shard_count`` shards.
 
     Accepts any object with the :class:`~repro.analysis.sweeps.SweepSpec`
-    surface (``name``, ``cells()``, ``max_cycles``).  The plan is fully
-    deterministic: the same spec and shard count yield the same manifests
-    on every machine.
+    surface (``name``, ``cells()``, ``max_cycles``, and optionally
+    ``cell_kind`` — fuzz campaigns plan through here too).  The plan is
+    fully deterministic: the same spec and shard count yield the same
+    manifests on every machine.
     """
     from repro.analysis.parallel import cell_key
     from repro.sim.config import SystemConfig
 
+    kind = getattr(spec, "cell_kind", "stats")
     cells = []
     for cores, scale, protocol, workload in spec.cells():
         key = cell_key(SystemConfig().scaled(num_cores=cores), protocol,
-                       workload, scale, spec.max_cycles)
+                       workload, scale, spec.max_cycles, kind=kind)
         cells.append(PlannedCell(cores=cores, scale=scale, protocol=protocol,
                                  workload=workload, key=key,
                                  shard=shard_of_key(key, shard_count)))
@@ -201,14 +204,15 @@ class MergeReport:
 
 
 def _valid_entry(path: Path) -> bool:
-    """Whether a cache entry file exists and holds a current-schema payload.
-    A corrupt or stale entry must not satisfy a merge or completeness
-    check — ``ResultCache.get`` would treat it as a miss."""
-    from repro.sim.stats import STATS_SCHEMA_VERSION
+    """Whether a cache entry file exists and holds a current-schema payload
+    for its own cell kind.  A corrupt or stale entry must not satisfy a
+    merge or completeness check — ``ResultCache.get`` would treat it as a
+    miss."""
+    from repro.analysis.parallel import payload_is_current
 
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
-        return payload.get("schema") == STATS_SCHEMA_VERSION
+        return payload_is_current(payload)
     except (ValueError, OSError):
         return False
 
@@ -220,8 +224,8 @@ def merge_results(sources: Iterable[Union[str, Path]], dest) -> MergeReport:
     :class:`~repro.analysis.parallel.ResultCache` on-disk layout
     (``<key[:2]>/<key>.json``).  Entries are content-addressed, so a key
     already present in ``dest`` is the same result and is skipped; entries
-    with a stale stats schema or unreadable JSON are counted invalid and
-    left behind.
+    with a stale schema for their cell kind or unreadable JSON are counted
+    invalid and left behind.
 
     Args:
         sources: shard cache directories (e.g. one per CI shard job).
@@ -238,7 +242,7 @@ def merge_results(sources: Iterable[Union[str, Path]], dest) -> MergeReport:
         OSError: if the destination becomes unwritable mid-merge
             (``ResultCache.put`` disables itself on write errors).
     """
-    from repro.sim.stats import STATS_SCHEMA_VERSION
+    from repro.analysis.parallel import payload_is_current
 
     if not dest.enabled:
         raise ValueError(
@@ -253,8 +257,8 @@ def merge_results(sources: Iterable[Union[str, Path]], dest) -> MergeReport:
             key = path.stem
             try:
                 payload = json.loads(path.read_text(encoding="utf-8"))
-                if payload.get("schema") != STATS_SCHEMA_VERSION:
-                    raise ValueError("stale stats schema")
+                if not payload_is_current(payload):
+                    raise ValueError("stale payload schema")
             except (ValueError, OSError):
                 report.invalid += 1
                 continue

@@ -35,9 +35,10 @@ import hashlib
 import json
 import os
 import sys
-from dataclasses import asdict
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.sim.config import SystemConfig
 from repro.sim.stats import STATS_SCHEMA_VERSION, SystemStats
@@ -46,6 +47,79 @@ from repro.sim.stats import STATS_SCHEMA_VERSION, SystemStats
 #: result (e.g. after a change to simulator behaviour that is not reflected
 #: in the statistics schema).
 CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CellKind:
+    """What one matrix cell *computes* — the work function and its payload
+    contract.
+
+    The executor/backend/cache machinery is agnostic to what a cell
+    produces: a kind bundles the picklable module-level ``simulate``
+    function shipped to workers, the ``decode`` that reconstructs a result
+    object from a cached JSON payload, and the payload ``schema`` version
+    that validates cache entries (and keys non-default kinds).  The
+    bundled kinds are ``"stats"`` (paper figure/sweep cells producing
+    :class:`~repro.sim.stats.SystemStats`) and ``"fuzz"``
+    (:mod:`repro.consistency.fuzz` conformance cells).
+
+    Attributes:
+        name: registry key; ``MatrixExecutor(kind=...)`` / spec
+            ``cell_kind`` attributes name it.
+        simulate: ``(config, protocol, workload_name, scale, max_cycles) ->
+            JSON payload`` — must be a module-level function so process
+            pools can pickle it by reference.
+        decode: payload dict -> result object handed back by
+            ``run_cells``.
+        schema: payload schema version; a cached entry whose ``"schema"``
+            differs is stale.
+    """
+
+    name: str
+    simulate: Callable[..., Dict[str, object]]
+    decode: Callable[[Dict[str, object]], object]
+    schema: int
+
+
+#: Registered cell kinds by name.
+CELL_KINDS: Dict[str, CellKind] = {}
+
+
+def register_cell_kind(kind: CellKind) -> CellKind:
+    """Register a :class:`CellKind` under its name.
+
+    Raises:
+        ValueError: on a duplicate name.
+    """
+    if kind.name in CELL_KINDS:
+        raise ValueError(f"cell kind {kind.name!r} is already registered")
+    CELL_KINDS[kind.name] = kind
+    return kind
+
+
+def _load_bundled_kinds() -> None:
+    """Import the modules that register the bundled non-default kinds (the
+    ``"fuzz"`` kind lives with its subsystem in
+    :mod:`repro.consistency.fuzz`).  Called lazily on an unknown-kind
+    lookup so merely importing this module never drags the consistency
+    stack in."""
+    import repro.consistency.fuzz  # noqa: F401  (registers on import)
+
+
+def get_cell_kind(kind: Union[str, CellKind]) -> CellKind:
+    """Resolve a cell kind given by name or instance.
+
+    Raises:
+        KeyError: for an unknown kind name.
+    """
+    if isinstance(kind, CellKind):
+        return kind
+    if kind not in CELL_KINDS:
+        _load_bundled_kinds()
+    if kind not in CELL_KINDS:
+        raise KeyError(
+            f"unknown cell kind {kind!r}; known: {', '.join(CELL_KINDS)}")
+    return CELL_KINDS[kind]
 
 def _default_results_root() -> Path:
     """``benchmarks/`` of the repo checkout when running from one, else the
@@ -83,15 +157,20 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 
 def cell_key(config: SystemConfig, protocol: str, workload_name: str,
-             scale: float, max_cycles: int) -> str:
+             scale: float, max_cycles: int,
+             kind: Union[str, CellKind] = "stats") -> str:
     """Content-addressed key of one cell: the SHA-256 of the canonical JSON
     of every input that determines its result.
 
     The key is host-independent — a pure function of the experiment inputs
-    and the two schema versions — which is what makes both the on-disk
-    cache shareable across machines and the shard planner
-    (:mod:`repro.analysis.backends.shard`) coordinator-free.
+    and the schema versions — which is what makes both the on-disk cache
+    shareable across machines and the shard planner
+    (:mod:`repro.analysis.backends.shard`) coordinator-free.  Non-default
+    cell kinds mix their name and payload schema into the key (the default
+    ``"stats"`` kind leaves the key payload exactly as it has always been,
+    so every pre-existing cache entry and shard assignment stays valid).
     """
+    kind = get_cell_kind(kind)
     payload = {
         "cache_schema": CACHE_SCHEMA_VERSION,
         "stats_schema": STATS_SCHEMA_VERSION,
@@ -101,6 +180,9 @@ def cell_key(config: SystemConfig, protocol: str, workload_name: str,
         "scale": scale,
         "max_cycles": max_cycles,
     }
+    if kind.name != "stats":
+        payload["kind"] = kind.name
+        payload["kind_schema"] = kind.schema
     blob = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -133,6 +215,42 @@ def simulate_cell(config: SystemConfig, protocol: str, workload_name: str,
     return result.stats.to_dict()
 
 
+def _simulate_stats_cell(config: SystemConfig, protocol: str,
+                         workload_name: str, scale: float,
+                         max_cycles: int) -> Dict[str, object]:
+    """The ``"stats"`` kind's work function: a late-binding trampoline to
+    :func:`simulate_cell` so the registered kind keeps honoring test
+    monkeypatches of ``parallel.simulate_cell``."""
+    return simulate_cell(config, protocol, workload_name, scale, max_cycles)
+
+
+#: The default cell kind: paper figure / sweep cells producing
+#: :class:`~repro.sim.stats.SystemStats` payloads.
+STATS_CELL_KIND = register_cell_kind(CellKind(
+    name="stats",
+    simulate=_simulate_stats_cell,
+    decode=SystemStats.from_dict,
+    schema=STATS_SCHEMA_VERSION,
+))
+
+
+def payload_is_current(payload: object) -> bool:
+    """Whether a cache-entry payload is valid for its own cell kind: the
+    ``"kind"`` field (default ``"stats"``) must name a registered kind and
+    the ``"schema"`` field must match that kind's payload schema.  Shared
+    by :meth:`ResultCache.get` and the shard merge/completeness checks."""
+    if not isinstance(payload, dict):
+        return False
+    kind = payload.get("kind", "stats")
+    if not isinstance(kind, str):
+        return False
+    if kind not in CELL_KINDS:
+        _load_bundled_kinds()
+        if kind not in CELL_KINDS:
+            return False
+    return payload.get("schema") == CELL_KINDS[kind].schema
+
+
 class ResultCache:
     """Content-addressed on-disk cache for per-cell simulation results.
 
@@ -153,25 +271,30 @@ class ResultCache:
         self.misses = 0
 
     def key(self, config: SystemConfig, protocol: str, workload_name: str,
-            scale: float, max_cycles: int) -> str:
+            scale: float, max_cycles: int,
+            kind: Union[str, CellKind] = "stats") -> str:
         """Compute the content-addressed key for one cell
         (:func:`cell_key`)."""
-        return cell_key(config, protocol, workload_name, scale, max_cycles)
+        return cell_key(config, protocol, workload_name, scale, max_cycles,
+                        kind=kind)
 
     def path(self, key: str) -> Path:
         """Filesystem location of the entry for ``key``."""
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[Dict[str, object]]:
-        """Return the cached stats payload for ``key``, or ``None``."""
+    def get(self, key: str,
+            schema: int = STATS_SCHEMA_VERSION) -> Optional[Dict[str, object]]:
+        """Return the cached payload for ``key``, or ``None``.  ``schema``
+        is the expected payload schema version (the cell kind's; defaults
+        to the stats schema)."""
         if not self.enabled:
             return None
         path = self.path(key)
         try:
             with path.open("r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-            if payload.get("schema") != STATS_SCHEMA_VERSION:
-                raise ValueError("stale stats schema")
+            if payload.get("schema") != schema:
+                raise ValueError("stale payload schema")
         except FileNotFoundError:
             self.misses += 1
             return None
@@ -223,6 +346,12 @@ class MatrixExecutor:
             (``REPRO_BACKEND`` env var → ``local``).  A shard backend
             executes only its own subset of the cells; see
             :mod:`repro.analysis.backends`.
+        kind: the :class:`CellKind` this executor's cells compute (name or
+            instance; default ``"stats"``).  Backends execute through
+            ``kind.simulate``, cache entries validate against
+            ``kind.schema``, and results decode through ``kind.decode`` —
+            the execution/caching/sharding machinery is identical for
+            every kind.
 
     Attributes:
         simulations_run: number of cells actually simulated (cache misses)
@@ -238,6 +367,7 @@ class MatrixExecutor:
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         backend: Union[None, str, "Backend"] = None,
+        kind: Union[str, CellKind] = "stats",
     ) -> None:
         from repro.analysis.backends import resolve_backend
 
@@ -247,6 +377,7 @@ class MatrixExecutor:
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self.backend = resolve_backend(backend)
+        self.kind = get_cell_kind(kind)
         self.simulations_run = 0
 
     # ------------------------------------------------------------------ cache
@@ -256,8 +387,8 @@ class MatrixExecutor:
         if self.cache is None:
             return None, None
         key = self.cache.key(self.system_config, protocol, workload_name,
-                             self.scale, self.max_cycles)
-        return key, self.cache.get(key)
+                             self.scale, self.max_cycles, kind=self.kind)
+        return key, self.cache.get(key, schema=self.kind.schema)
 
     def _store(self, key: Optional[str], payload: Dict[str, object]) -> None:
         if self.cache is not None and key is not None:
@@ -298,7 +429,7 @@ class MatrixExecutor:
         for protocol, workload_name in dict.fromkeys(cells):
             key, payload = self._lookup(protocol, workload_name)
             if payload is not None:
-                results[(protocol, workload_name)] = SystemStats.from_dict(payload)
+                results[(protocol, workload_name)] = self.kind.decode(payload)
             else:
                 pending.append((protocol, workload_name, key))
 
@@ -309,7 +440,7 @@ class MatrixExecutor:
                 self.backend.run(self, pending):
             self.simulations_run += 1
             self._store(key, payload)
-            results[(protocol, workload_name)] = SystemStats.from_dict(payload)
+            results[(protocol, workload_name)] = self.kind.decode(payload)
         return results
 
     def run_matrix(

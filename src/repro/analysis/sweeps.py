@@ -370,6 +370,17 @@ SHARED_RO_SWEEP = register_sweep(SweepSpec(
     metrics=("cycles", "flits", "sro_read_hits"),
 ))
 
+#: Timestamp-table capacity ``ts_L1`` (Table 1 / ROADMAP protocol item):
+#: how small the per-core last-seen table can get before conservative
+#: re-acquisitions start costing cycles and traffic.
+TS_TABLE_SWEEP = register_sweep(SweepSpec(
+    name="ts-table",
+    description="per-core last-seen timestamp table capacity (ts_L1)",
+    protocols=tuple(variant_group("tsocc-ts-table")),
+    workloads=("fft", "dedup", "intruder"),
+    metrics=("cycles", "l1_misses", "flits"),
+))
+
 #: Protocol-family comparison: the eager directory protocols, the
 #: directory-less broadcast strawman and the paper's best TSO-CC point, with
 #: a core-count axis to expose the broadcast traffic scaling.

@@ -13,6 +13,12 @@ Exposes the most common operations without writing Python::
     python -m repro shard merge ci-smoke --from shard-dir-0 --from shard-dir-1
     python -m repro storage --cores 32,64,128
     python -m repro litmus --protocol TSO-CC-4-12-3 --iterations 10
+    python -m repro litmus --random 20 --seed 7      # + generated tests
+    python -m repro fuzz list                        # conformance campaigns
+    python -m repro fuzz run fuzz-smoke --jobs 8
+    python -m repro fuzz replay fuzz-smoke --seed 17 --protocol MESI
+    python -m repro fuzz shrink fuzz-smoke --seed 17 --protocol MESI
+    python -m repro fuzz merge fuzz-smoke --from dir0 --from dir1
 
 Every sub-command prints a plain-text table (the same renderers the
 benchmark harness uses) and exits non-zero if a correctness check fails
@@ -46,7 +52,9 @@ from repro.analysis.parallel import (DEFAULT_CACHE_DIR, ResultCache,
                                      _default_results_root)
 from repro.analysis.sweeps import get_sweep, list_sweeps
 from repro.analysis.tables import format_series_table, format_table, protocol_rows
-from repro.consistency import canonical_tests, verify_litmus
+from repro.consistency import canonical_tests, generate_random_test, verify_litmus
+from repro.consistency.fuzz import (format_test, get_campaign, list_campaigns,
+                                    replay_cell, shrink_cell)
 from repro.protocols.registry import list_protocol_names
 from repro.protocols.storage import StorageModel
 from repro.protocols.tsocc.config import PAPER_TSOCC_CONFIGS
@@ -368,16 +376,19 @@ def _cmd_shard_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_shard_merge(args: argparse.Namespace) -> int:
-    spec = None
-    if args.name:
-        # Resolve the sweep before touching the destination cache so a bad
-        # name or malformed axis override fails before any merging happens.
-        try:
-            spec = _sharded_spec(args)
-        except (KeyError, ValueError) as exc:
-            print(exc.args[0] if exc.args else exc, file=sys.stderr)
-            return 2
+#: Cap on the per-cell INCOMPLETE listing after a merge: a half-merged
+#: tso-conformance campaign misses thousands of cells.
+_MAX_MISSING_LISTED = 20
+
+
+def _merge_into_cache(args: argparse.Namespace, spec, noun: str,
+                      describe_cell) -> int:
+    """Merge ``args.sources`` into ``args.cache_dir`` and (when ``spec``
+    is not None) verify the sweep's/campaign's cells are fully covered —
+    the shared core of ``repro shard merge`` and ``repro fuzz merge``.
+
+    Returns the process exit code (1 on merge failure or missing cells).
+    """
     dest = ResultCache(Path(args.cache_dir))
     try:
         report = merge_results(args.sources, dest)
@@ -388,19 +399,37 @@ def _cmd_shard_merge(args: argparse.Namespace) -> int:
           f"director{'y' if len(args.sources) == 1 else 'ies'} into "
           f"{dest.root} ({report.already_present} already present, "
           f"{report.invalid} invalid)")
-    if spec is not None:
-        missing = missing_cells(spec, dest)
-        if missing:
-            print(f"INCOMPLETE: {len(missing)} of {spec.num_cells} cells of "
-                  f"sweep {spec.name!r} missing after merge:", file=sys.stderr)
-            for cell in missing:
-                print(f"  {cell.protocol} x {cell.workload} "
-                      f"(cores {cell.cores}, scale {cell.scale})",
-                      file=sys.stderr)
-            return 1
-        print(f"complete: all {spec.num_cells} cells of sweep "
-              f"{spec.name!r} present")
+    if spec is None:
+        return 0
+    missing = missing_cells(spec, dest)
+    if missing:
+        print(f"INCOMPLETE: {len(missing)} of {spec.num_cells} cells of "
+              f"{noun} {spec.name!r} missing after merge:", file=sys.stderr)
+        for cell in missing[:_MAX_MISSING_LISTED]:
+            print(f"  {describe_cell(cell)}", file=sys.stderr)
+        if len(missing) > _MAX_MISSING_LISTED:
+            print(f"  ... and {len(missing) - _MAX_MISSING_LISTED} more",
+                  file=sys.stderr)
+        return 1
+    print(f"complete: all {spec.num_cells} cells of {noun} "
+          f"{spec.name!r} present")
     return 0
+
+
+def _cmd_shard_merge(args: argparse.Namespace) -> int:
+    spec = None
+    if args.name:
+        # Resolve the sweep before touching the destination cache so a bad
+        # name or malformed axis override fails before any merging happens.
+        try:
+            spec = _sharded_spec(args)
+        except (KeyError, ValueError) as exc:
+            print(exc.args[0] if exc.args else exc, file=sys.stderr)
+            return 2
+    return _merge_into_cache(
+        args, spec, "sweep",
+        lambda cell: (f"{cell.protocol} x {cell.workload} "
+                      f"(cores {cell.cores}, scale {cell.scale})"))
 
 
 def _cmd_shard(args: argparse.Namespace) -> int:
@@ -433,12 +462,192 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
         if not tests:
             print(f"no litmus tests match {args.tests!r}", file=sys.stderr)
             return 2
+    if args.random:
+        if args.random < 0:
+            print("--random must be >= 0", file=sys.stderr)
+            return 2
+        tests += [generate_random_test(args.seed + index)
+                  for index in range(args.random)]
     passed, results = verify_litmus(tests, protocol=args.protocol,
                                     iterations=args.iterations)
     for result in results:
         print(result.summary())
     print("ALL PASS" if passed else "FORBIDDEN OUTCOME OBSERVED")
     return 0 if passed else 1
+
+
+# ------------------------------------------------------------------ fuzz
+
+def _fuzz_spec(args: argparse.Namespace):
+    """Resolve a named campaign with its overrides.
+
+    Raises:
+        KeyError: unknown campaign name, or ``--protocols`` naming an
+            unregistered configuration.
+        ValueError: malformed overrides (negative seed counts etc.).
+    """
+    spec = get_campaign(args.name).subset(
+        protocols=_split(getattr(args, "protocols", None)),
+        num_seeds=getattr(args, "seeds", None),
+        seed_start=getattr(args, "seed_start", None),
+    )
+    unknown = [p for p in spec.protocols if p not in set(list_protocol_names())]
+    if unknown:
+        raise KeyError(
+            f"campaign {spec.name!r} references unregistered protocols: "
+            f"{', '.join(unknown)}")
+    return spec
+
+
+def _cmd_fuzz_list(_args: argparse.Namespace) -> int:
+    rows = [{
+        "campaign": spec.name,
+        "protocols": len(spec.protocols),
+        "seeds": f"{spec.seed_start}..{spec.seed_start + spec.num_seeds - 1}",
+        "shapes": len(spec.shapes()),
+        "cells": spec.num_cells,
+        "iterations": spec.iterations,
+        "description": spec.description,
+    } for spec in list_campaigns()]
+    print(format_table(rows, title="Registered conformance-fuzzing campaigns"))
+    return 0
+
+
+def _cmd_fuzz_cells(args: argparse.Namespace) -> int:
+    try:
+        spec = _fuzz_spec(args)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    rows = [{"cores": cores, "protocol": protocol, "workload": workload}
+            for cores, _scale, protocol, workload in spec.cells()]
+    print(format_table(rows, title=f"Campaign {spec.name}: "
+                                   f"{spec.num_cells} cells"))
+    return 0
+
+
+def _cmd_fuzz_run(args: argparse.Namespace) -> int:
+    try:
+        spec = _fuzz_spec(args)
+        backend = _make_backend(args)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    try:
+        result = spec.run(jobs=args.jobs, cache=_make_cache(args),
+                          backend=backend)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    print(result.tabulate())
+    executed = len(result.cells)
+    print(f"({executed} of {spec.num_cells} cells executed: "
+          f"{result.simulations_run} simulated, "
+          f"{executed - result.simulations_run} from cache)")
+    failures = result.failures()
+    if failures:
+        print("\nFORBIDDEN OUTCOMES OBSERVED:", file=sys.stderr)
+        for cell in failures:
+            outcome = dict(cell.violations[0]) if cell.violations else {}
+            params = cell.params
+            coordinates = (f"--seed {cell.seed} --protocol {cell.protocol}")
+            if len(spec.shapes()) > 1:
+                # Replay/shrink default to the campaign's first shape
+                # point; a multi-shape campaign must pin the cell's own.
+                coordinates += (
+                    f" --threads {params['num_threads']}"
+                    f" --ops {params['ops_per_thread']}"
+                    f" --vars {params['num_vars']}"
+                    f" --fence {params['fence_permille']}")
+            print(f"  {cell.protocol} x {cell.workload}: "
+                  f"{len(cell.violations)} forbidden outcome(s), "
+                  f"e.g. {outcome}", file=sys.stderr)
+            print(f"    replay: repro fuzz replay {spec.name} {coordinates}",
+                  file=sys.stderr)
+            print(f"    shrink: repro fuzz shrink {spec.name} {coordinates}",
+                  file=sys.stderr)
+        return 1
+    if result.complete:
+        print(f"CONFORMANT: all {spec.num_cells} cells within the "
+              f"x86-TSO outcome sets")
+    return 0
+
+
+def _replay_shape(args: argparse.Namespace, spec):
+    """Resolve the optional --threads/--ops/--vars/--fence overrides into a
+    shape tuple (default: the campaign's first shape point)."""
+    default = spec.shapes()[0]
+    values = [getattr(args, attr, None) for attr in
+              ("threads", "ops", "vars", "fence")]
+    if all(value is None for value in values):
+        return None
+    return tuple(value if value is not None else fallback
+                 for value, fallback in zip(values, default))
+
+
+def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    try:
+        spec = _fuzz_spec(args)
+        test, result = replay_cell(spec, args.protocol, args.seed,
+                                   shape=_replay_shape(args, spec))
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    print(format_test(test))
+    print()
+    rows = [{"outcome": dict(outcome), "count": count,
+             "verdict": "FORBIDDEN" if outcome in result.violations
+             else "allowed"}
+            for outcome, count in sorted(result.observed.items())]
+    print(format_table(rows, title=result.summary()))
+    return 0 if result.passed else 1
+
+
+def _cmd_fuzz_shrink(args: argparse.Namespace) -> int:
+    try:
+        spec = _fuzz_spec(args)
+        outcome = shrink_cell(spec, args.protocol, args.seed,
+                              shape=_replay_shape(args, spec))
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    if outcome is None:
+        print(f"cell (seed {args.seed}, {args.protocol}) passes on replay; "
+              f"nothing to shrink")
+        return 0
+    original, shrunk, shrunk_result = outcome
+    original_ops = sum(len(t.ops) for t in original.threads)
+    shrunk_ops = sum(len(t.ops) for t in shrunk.threads)
+    print(f"shrunk {original_ops} ops / {len(original.threads)} threads "
+          f"-> {shrunk_ops} ops / {len(shrunk.threads)} threads\n")
+    print(format_test(shrunk))
+    print()
+    for violation in sorted(shrunk_result.violations):
+        print(f"  forbidden outcome still reproduced: {dict(violation)}")
+    return 1
+
+
+def _cmd_fuzz_merge(args: argparse.Namespace) -> int:
+    try:
+        spec = _fuzz_spec(args)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    return _merge_into_cache(
+        args, spec, "campaign",
+        lambda cell: f"{cell.protocol} x {cell.workload}")
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    handlers = {
+        "list": _cmd_fuzz_list,
+        "cells": _cmd_fuzz_cells,
+        "run": _cmd_fuzz_run,
+        "replay": _cmd_fuzz_replay,
+        "shrink": _cmd_fuzz_shrink,
+        "merge": _cmd_fuzz_merge,
+    }
+    return handlers[args.fuzz_command](args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -577,6 +786,81 @@ def build_parser() -> argparse.ArgumentParser:
     litmus.add_argument("--protocol", default="TSO-CC-4-12-3")
     litmus.add_argument("--iterations", type=int, default=10)
     litmus.add_argument("--tests", help="comma-separated litmus test names")
+    litmus.add_argument("--random", type=int, default=0, metavar="N",
+                        help="also run N diy-style generated tests")
+    litmus.add_argument("--seed", type=int, default=0,
+                        help="first generator seed for --random (default 0)")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential conformance fuzzing: seeded litmus campaigns "
+             "as cached, shardable matrix cells")
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    def add_campaign_overrides(command: argparse.ArgumentParser) -> None:
+        command.add_argument("name", nargs="?", default="fuzz-smoke",
+                             help="registered campaign name (default: "
+                                  "fuzz-smoke; see 'repro fuzz list')")
+        command.add_argument("--protocols",
+                             help="override: comma-separated protocol names")
+        command.add_argument("--seeds", type=int, default=None,
+                             help="override: number of seeds per shape point")
+        command.add_argument("--seed-start", type=int, default=None,
+                             help="override: first seed of the range")
+
+    fuzz_sub.add_parser("list", help="list registered campaigns")
+
+    fuzz_cells = fuzz_sub.add_parser(
+        "cells", help="print a campaign's cell expansion without running")
+    add_campaign_overrides(fuzz_cells)
+
+    fuzz_run = fuzz_sub.add_parser(
+        "run",
+        help="run a campaign through the cached, shardable matrix "
+             "(exit 1 on any forbidden outcome)")
+    add_campaign_overrides(fuzz_run)
+    add_executor_flags(fuzz_run)
+    add_shard_flags(fuzz_run)
+
+    def add_cell_coordinates(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--seed", type=int, required=True,
+                             help="generator seed of the cell")
+        command.add_argument("--protocol", default="TSO-CC-4-12-3",
+                             help="protocol configuration name")
+        command.add_argument("--threads", type=int, default=None,
+                             help="generator thread count (default: the "
+                                  "campaign's first shape point)")
+        command.add_argument("--ops", type=int, default=None,
+                             help="generator ops per thread")
+        command.add_argument("--vars", type=int, default=None,
+                             help="generator shared-variable count")
+        command.add_argument("--fence", type=int, default=None,
+                             help="generator fence probability (permille)")
+
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay",
+        help="re-run one campaign cell outside the cache and print every "
+             "observed outcome")
+    add_campaign_overrides(fuzz_replay)
+    add_cell_coordinates(fuzz_replay)
+
+    fuzz_shrink = fuzz_sub.add_parser(
+        "shrink",
+        help="minimize a violating cell's test by op/thread deletion "
+             "while the violation reproduces")
+    add_campaign_overrides(fuzz_shrink)
+    add_cell_coordinates(fuzz_shrink)
+
+    fuzz_merge = fuzz_sub.add_parser(
+        "merge",
+        help="merge shard result directories and verify campaign coverage")
+    add_campaign_overrides(fuzz_merge)
+    fuzz_merge.add_argument("--from", dest="sources", action="append",
+                            required=True, metavar="DIR",
+                            help="shard result directory (repeatable)")
+    fuzz_merge.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                            help="destination result cache "
+                                 "(default: benchmarks/results/cache)")
 
     return parser
 
@@ -594,6 +878,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "shard": _cmd_shard,
         "storage": _cmd_storage,
         "litmus": _cmd_litmus,
+        "fuzz": _cmd_fuzz,
     }
     return handlers[args.command](args)
 

@@ -16,6 +16,9 @@ full-system simulator (§4.3).  This package reproduces that methodology:
 * :mod:`repro.consistency.checkers` — execution-history checkers
   (coherence / SC-per-location, and single-writer occupancy invariants used
   by the tests).
+* :mod:`repro.consistency.fuzz` — differential conformance fuzzing at
+  scale: seeded random litmus campaigns as cached, shardable matrix cells
+  (``repro fuzz``), with replay and counterexample shrinking.
 """
 
 from repro.consistency.litmus import (
@@ -27,6 +30,17 @@ from repro.consistency.litmus import (
 from repro.consistency.runner import LitmusResult, run_litmus_on_simulator, verify_litmus
 from repro.consistency.tso_model import enumerate_tso_outcomes, enumerate_sc_outcomes
 from repro.consistency.checkers import check_coherence_per_location
+from repro.consistency.fuzz import (
+    CampaignResult,
+    FuzzCampaign,
+    FuzzCellResult,
+    get_campaign,
+    list_campaigns,
+    register_campaign,
+    replay_cell,
+    shrink_cell,
+    shrink_test,
+)
 
 __all__ = [
     "LitmusTest",
@@ -39,4 +53,13 @@ __all__ = [
     "verify_litmus",
     "LitmusResult",
     "check_coherence_per_location",
+    "FuzzCampaign",
+    "FuzzCellResult",
+    "CampaignResult",
+    "register_campaign",
+    "get_campaign",
+    "list_campaigns",
+    "replay_cell",
+    "shrink_cell",
+    "shrink_test",
 ]

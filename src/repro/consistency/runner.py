@@ -65,10 +65,17 @@ class LitmusResult:
 def _litmus_programs(test: LitmusTest, addresses: Dict[str, int],
                      rng: random.Random, max_jitter: int):
     """Build one simulator program per litmus thread, with random timing
-    jitter baked in (deterministically, from ``rng``)."""
+    jitter baked in (deterministically, from ``rng``).
+
+    The pre-first-op jitter draws from a 4x wider range than the
+    inter-instruction jitter: staggering whole threads against each other
+    explores races (e.g. one thread's load caching a line well before
+    another thread's store takes it away) that per-instruction jitter of
+    the same magnitude as a miss latency rarely reaches."""
     programs = []
     for thread in test.threads:
-        jitters = [rng.randrange(max_jitter + 1) for _ in range(len(thread.ops) + 1)]
+        jitters = [rng.randrange(4 * max_jitter + 1)]
+        jitters += [rng.randrange(max_jitter + 1) for _ in range(len(thread.ops))]
 
         def make_program(ops=thread.ops, jitters=jitters):
             def program(ctx):
@@ -99,6 +106,7 @@ def run_litmus_on_simulator(
     seed: int = 0,
     max_jitter: int = 60,
     include_memory: bool = False,
+    max_cycles: int = 5_000_000,
 ) -> LitmusResult:
     """Run ``test`` on the simulator ``iterations`` times and check outcomes.
 
@@ -111,6 +119,7 @@ def run_litmus_on_simulator(
         seed: base PRNG seed for jitter / layout perturbation.
         max_jitter: maximum inter-instruction delay inserted, in cycles.
         include_memory: also check final memory values against the model.
+        max_cycles: per-run watchdog bound.
     """
     allowed = enumerate_tso_outcomes(test, include_memory=include_memory)
     num_threads = len(test.threads)
@@ -130,7 +139,7 @@ def run_litmus_on_simulator(
             addresses[var] = base + index * (8 if pack else config.line_size)
         programs = _litmus_programs(test, addresses, rng, max_jitter)
         system = build_system(config, protocol)
-        run = system.run(programs, max_cycles=5_000_000, workload_name=test.name)
+        run = system.run(programs, max_cycles=max_cycles, workload_name=test.name)
 
         registers: Dict[str, int] = {}
         for context in run.contexts:

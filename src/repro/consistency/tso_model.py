@@ -7,23 +7,70 @@ the same address (store forwarding) or, failing that, shared memory; fences
 wait for the thread's own buffer to drain; and at any point the oldest entry
 of any buffer may be flushed to memory.
 
-:func:`enumerate_tso_outcomes` exhaustively explores every interleaving of
-instruction execution and buffer flushes for a litmus test and returns the
-set of reachable final states — the oracle the simulator-observed outcomes
-are checked against.  :func:`enumerate_sc_outcomes` does the same for
+:func:`enumerate_tso_outcomes` explores every interleaving of instruction
+execution and buffer flushes for a litmus test and returns the set of
+reachable final states — the oracle the simulator-observed outcomes are
+checked against.  :func:`enumerate_sc_outcomes` does the same for
 sequential consistency (no store buffers), which is useful for asserting
 that TSO is a strict relaxation (every SC outcome is TSO-allowed, and e.g.
 the SB test has a TSO-only outcome).
+
+Enumeration is the hot path of a fuzz campaign
+(:mod:`repro.consistency.fuzz` enumerates one allowed-set per generated
+test), so :func:`enumerate_tso_outcomes` uses an exact state-space
+reduction instead of the naive walk:
+
+* **Register-free exploration** — register contents never influence which
+  transitions are enabled, so the DP explores ``(pcs, buffers, memory)``
+  states only and attaches register assignments on the way back up
+  (memoized per state).  The naive walk re-visits the same machine state
+  once per distinct register history; the DP visits it once.
+* **Dead-variable pruning** — a variable no thread can still load (and
+  that is not reported in the outcome) is dropped from the memory
+  component of the state key, merging states that differ only in
+  unobservable values.
+* **Cross-call memoization** — campaigns check the same test against many
+  protocols; results are cached per canonical test structure
+  (:func:`clear_outcome_cache` empties the cache).
+
+The reduction requires every load to target a distinct register (true for
+the canonical corpus and everything :func:`~repro.consistency.litmus.generate_random_test`
+emits); tests with aliased registers fall back to the exhaustive walk,
+which is also kept as the differential oracle for the DP itself
+(``tests/test_consistency.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.consistency.litmus import LitmusTest
 
 #: A final outcome: sorted tuple of (register or "var", value) pairs.
 Outcome = Tuple[Tuple[str, int], ...]
+
+#: Cross-call memo: canonical test structure -> frozenset of outcomes.
+#: Bounded (entries are small; a campaign touches a few thousand tests) and
+#: clearable for tests and long-lived processes.
+_OUTCOME_CACHE: Dict[Tuple[object, bool], FrozenSet[Outcome]] = {}
+
+#: Entry bound after which the whole memo is dropped (simple and safe: the
+#: cache is a pure performance device).
+_OUTCOME_CACHE_LIMIT = 8192
+
+
+def _canonical_test(test: LitmusTest) -> Tuple[object, ...]:
+    """A hashable, content-only encoding of a litmus test (names and
+    descriptions excluded — they do not affect outcomes)."""
+    return tuple(
+        tuple((op.kind, op.var, op.value, op.register) for op in thread.ops)
+        for thread in test.threads
+    ) + (tuple(test.variables),)
+
+
+def clear_outcome_cache() -> None:
+    """Drop every memoized outcome set (tests / long-lived processes)."""
+    _OUTCOME_CACHE.clear()
 
 
 def _make_outcome(registers: Dict[str, int], memory: Dict[str, int],
@@ -37,6 +84,10 @@ def _make_outcome(registers: Dict[str, int], memory: Dict[str, int],
 def enumerate_tso_outcomes(test: LitmusTest, include_memory: bool = False) -> Set[Outcome]:
     """Enumerate every final state reachable under x86-TSO.
 
+    Uses the memoized register-free DP (see module docstring) when every
+    load targets a distinct register, else the exhaustive walk; results are
+    cached across calls per canonical test structure.
+
     Args:
         test: the litmus test.
         include_memory: also include final memory values (as ``[var]`` keys)
@@ -46,6 +97,146 @@ def enumerate_tso_outcomes(test: LitmusTest, include_memory: bool = False) -> Se
         A set of outcomes; each outcome is a sorted tuple of
         ``(register, value)`` pairs.
     """
+    cache_key = (_canonical_test(test), include_memory)
+    cached = _OUTCOME_CACHE.get(cache_key)
+    if cached is not None:
+        return set(cached)
+    registers = test.registers
+    if len(registers) == len(set(registers)):
+        outcomes = _enumerate_tso_dp(test, include_memory)
+    else:
+        outcomes = enumerate_tso_outcomes_exhaustive(test, include_memory)
+    if len(_OUTCOME_CACHE) >= _OUTCOME_CACHE_LIMIT:
+        _OUTCOME_CACHE.clear()
+    _OUTCOME_CACHE[cache_key] = frozenset(outcomes)
+    return outcomes
+
+
+def _enumerate_tso_dp(test: LitmusTest, include_memory: bool) -> Set[Outcome]:
+    """Register-free suffix DP: for each reachable ``(pcs, buffers, memory)``
+    machine state, memoize the set of (suffix register assignments, final
+    memory) pairs reachable from it.  Exact for tests whose loads target
+    distinct registers (callers check)."""
+    threads = [thread.ops for thread in test.threads]
+    num_threads = len(threads)
+
+    # future_loads[t][pc]: variables thread t may still load at op index
+    # >= pc — the union over threads drives dead-variable pruning.
+    future_loads: List[List[FrozenSet[str]]] = []
+    for ops in threads:
+        suffixes: List[FrozenSet[str]] = [frozenset()] * (len(ops) + 1)
+        live: FrozenSet[str] = frozenset()
+        for index in range(len(ops) - 1, -1, -1):
+            op = ops[index]
+            if op.kind == "load" and op.var is not None:
+                live = live | {op.var}
+            suffixes[index] = live
+        future_loads.append(suffixes)
+
+    def live_vars(pcs: Tuple[int, ...]) -> FrozenSet[str]:
+        live: FrozenSet[str] = frozenset()
+        for t in range(num_threads):
+            live = live | future_loads[t][pcs[t]]
+        return live
+
+    #: (pcs, buffers, canonical memory) -> frozenset of
+    #: (suffix register items, final memory items) pairs.
+    memo: Dict[Tuple[object, ...], FrozenSet[Tuple[Outcome, Outcome]]] = {}
+
+    def canonical_memory(memory: Dict[str, int],
+                         pcs: Tuple[int, ...]) -> Outcome:
+        """The memory component of the state key.  When final memory is not
+        reported, values no thread can still load are unobservable and are
+        dropped, merging equivalent states."""
+        if include_memory:
+            return tuple(sorted(memory.items()))
+        live = live_vars(pcs)
+        return tuple(sorted((var, value) for var, value in memory.items()
+                            if var in live))
+
+    def explore(pcs: Tuple[int, ...],
+                buffers: Tuple[Tuple[Tuple[str, int], ...], ...],
+                memory: Dict[str, int],
+                ) -> FrozenSet[Tuple[Outcome, Outcome]]:
+        state = (pcs, buffers, canonical_memory(memory, pcs))
+        hit = memo.get(state)
+        if hit is not None:
+            return hit
+
+        done = all(pcs[t] >= len(threads[t]) for t in range(num_threads))
+        if done and all(not buffer for buffer in buffers):
+            final_memory: Outcome = (
+                tuple(sorted(memory.items())) if include_memory else ())
+            result = frozenset({((), final_memory)})
+            memo[state] = result
+            return result
+
+        suffixes: Set[Tuple[Outcome, Outcome]] = set()
+
+        # Transition 1: flush the oldest entry of any non-empty buffer.
+        for t in range(num_threads):
+            if buffers[t]:
+                var, value = buffers[t][0]
+                new_memory = dict(memory)
+                new_memory[var] = value
+                new_buffers = buffers[:t] + (buffers[t][1:],) + buffers[t + 1:]
+                suffixes |= explore(pcs, new_buffers, new_memory)
+
+        # Transition 2: execute the next instruction of any thread.
+        for t in range(num_threads):
+            if pcs[t] >= len(threads[t]):
+                continue
+            op = threads[t][pcs[t]]
+            new_pcs = pcs[:t] + (pcs[t] + 1,) + pcs[t + 1:]
+            if op.kind == "store":
+                new_buffers = (buffers[:t]
+                               + (buffers[t] + ((op.var, op.value),),)
+                               + buffers[t + 1:])
+                suffixes |= explore(new_pcs, new_buffers, memory)
+            elif op.kind == "load":
+                value = None
+                for var, buffered in reversed(buffers[t]):
+                    if var == op.var:
+                        value = buffered
+                        break
+                if value is None:
+                    value = memory.get(op.var, 0)
+                assignment = (op.register, value)
+                for regs, final_memory in explore(new_pcs, buffers, memory):
+                    # Registers are distinct, so the suffix never rebinds
+                    # this one; prepending keeps the sorted invariant cheap.
+                    suffixes.add((tuple(sorted(regs + (assignment,))),
+                                  final_memory))
+            elif op.kind == "fence":
+                if not buffers[t]:
+                    suffixes |= explore(new_pcs, buffers, memory)
+                # A fence with a non-empty buffer must wait; the flush
+                # transition above provides the progress.
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown litmus op kind {op.kind!r}")
+
+        result = frozenset(suffixes)
+        memo[state] = result
+        return result
+
+    initial_memory = {var: 0 for var in test.variables}
+    pairs = explore((0,) * num_threads, ((),) * num_threads, initial_memory)
+    outcomes: Set[Outcome] = set()
+    for regs, final_memory in pairs:
+        items = dict(regs)
+        items.update({f"[{var}]": value for var, value in final_memory})
+        outcomes.add(tuple(sorted(items.items())))
+    return outcomes
+
+
+def enumerate_tso_outcomes_exhaustive(
+    test: LitmusTest, include_memory: bool = False
+) -> Set[Outcome]:
+    """The naive exhaustive walk over full machine states (registers
+    included).  Exact for every test — the fallback for aliased registers
+    and the differential oracle for the DP — but re-visits each machine
+    state once per register history, so it is exponentially slower on
+    load-heavy tests."""
     num_threads = len(test.threads)
     init_memory = tuple(sorted((var, 0) for var in test.variables))
     initial = (

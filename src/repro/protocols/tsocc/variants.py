@@ -103,3 +103,14 @@ SHARED_RO_VARIANTS = register_variants("tsocc-shared-ro", (
     tsocc_variant(suffix="-noSRO", use_shared_ro=False,
                   sro_uses_l2_timestamps=False, decay_writes=None),
 ))
+
+#: Per-core last-seen timestamp table capacity (``ts_L1``, Table 1): the
+#: paper sizes one entry per core (no eviction, the ``TSO-CC-4-12-3``
+#: default); smaller LRU-evicting tables trade storage for conservative
+#: re-acquisition when an evicted source's timestamp is next needed.
+TS_TABLE_VARIANTS = register_variants("tsocc-ts-table", (
+    tsocc_variant(suffix="-tsTable1", ts_table_entries=1),
+    tsocc_variant(suffix="-tsTable2", ts_table_entries=2),
+    tsocc_variant(suffix="-tsTable4", ts_table_entries=4),
+    "TSO-CC-4-12-3",
+))

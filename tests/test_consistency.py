@@ -5,12 +5,16 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.consistency.checkers import HistoryRecorder, Observation, check_coherence_per_location
-from repro.consistency.litmus import canonical_tests, generate_random_test
+from repro.consistency.litmus import (LitmusTest, LitmusThread,
+                                      canonical_tests, generate_random_test,
+                                      load, store)
 from repro.consistency.runner import run_litmus_on_simulator
 from repro.consistency.tso_model import (
     any_outcome_matches,
+    clear_outcome_cache,
     enumerate_sc_outcomes,
     enumerate_tso_outcomes,
+    enumerate_tso_outcomes_exhaustive,
 )
 
 
@@ -76,6 +80,61 @@ def test_final_memory_values_enumerated():
 def test_random_tests_tso_is_superset_of_sc(seed):
     test = generate_random_test(seed, num_threads=2, ops_per_thread=3)
     assert enumerate_sc_outcomes(test) <= enumerate_tso_outcomes(test)
+
+
+# ------------------------------------------------- fast enumerator (the DP)
+
+def test_dp_enumerator_matches_exhaustive_on_canonical_tests():
+    """The memoized register-free DP is an exact state-space reduction:
+    its outcome sets equal the naive exhaustive walk's on every canonical
+    test, with and without final memory."""
+    clear_outcome_cache()
+    for test in canonical_tests():
+        for include_memory in (False, True):
+            assert enumerate_tso_outcomes(test, include_memory) == \
+                enumerate_tso_outcomes_exhaustive(test, include_memory), \
+                (test.name, include_memory)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_dp_enumerator_matches_exhaustive_on_random_tests(seed):
+    test = generate_random_test(seed, num_threads=2 + seed % 2,
+                                ops_per_thread=3 + seed % 2,
+                                num_vars=1 + seed % 3)
+    assert enumerate_tso_outcomes(test) == \
+        enumerate_tso_outcomes_exhaustive(test)
+    assert enumerate_tso_outcomes(test, include_memory=True) == \
+        enumerate_tso_outcomes_exhaustive(test, include_memory=True)
+
+
+def test_enumerator_memoizes_across_calls():
+    """Campaigns enumerate the same test once per protocol; the cross-call
+    memo makes every repeat a dictionary hit (same object contents)."""
+    clear_outcome_cache()
+    test = generate_random_test(42, num_threads=2, ops_per_thread=4)
+    first = enumerate_tso_outcomes(test)
+    again = enumerate_tso_outcomes(test)
+    assert first == again
+    # A renamed but structurally identical test hits the same memo entry
+    # (names are not part of the canonical encoding).
+    renamed = LitmusTest(name="other", threads=test.threads)
+    assert enumerate_tso_outcomes(renamed) == first
+    # Mutating the returned set must not poison the memo.
+    first.clear()
+    assert enumerate_tso_outcomes(test) == again
+
+
+def test_aliased_registers_fall_back_to_exhaustive():
+    """A test loading twice into the same register is outside the DP's
+    precondition; enumerate_tso_outcomes must still be exact (it falls
+    back to the exhaustive walk)."""
+    aliased = LitmusTest(name="aliased", threads=[
+        LitmusThread((load("x", "r0"), load("y", "r0"))),
+        LitmusThread((store("x", 1), store("y", 1))),
+    ])
+    assert enumerate_tso_outcomes(aliased) == \
+        enumerate_tso_outcomes_exhaustive(aliased)
 
 
 # ------------------------------------------------------------------ litmus generator

@@ -66,6 +66,16 @@ def test_design_md_covers_its_citations():
 
 def test_readme_quickstart_mentions_the_cli_surface():
     text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-    for needle in ("repro protocols", "repro sweep", "repro shard", "pytest",
-                   "EXPERIMENTS.md", "DESIGN.md"):
+    for needle in ("repro protocols", "repro sweep", "repro shard",
+                   "repro fuzz", "pytest", "EXPERIMENTS.md", "DESIGN.md"):
         assert needle in text, f"README.md must mention {needle!r}"
+
+
+def test_experiments_md_covers_the_fuzzing_guide():
+    """The fuzz module docstring and README point at the EXPERIMENTS.md
+    fuzzing guide; the document must actually contain it."""
+    text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    assert "Fuzzing TSO conformance" in text
+    for needle in ("repro fuzz run", "repro fuzz merge", "repro fuzz shrink",
+                   "fuzz-smoke", "tso-conformance"):
+        assert needle in text, f"EXPERIMENTS.md must mention {needle!r}"

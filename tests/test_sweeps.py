@@ -73,8 +73,70 @@ def test_bundled_sweeps_cover_the_roadmap_families():
     names = [spec.name for spec in list_sweeps()]
     assert len(names) >= 3
     for expected in ("timestamp-bits", "access-counter", "decay",
-                     "shared-ro", "protocol-baselines"):
+                     "shared-ro", "protocol-baselines", "ts-table"):
         assert expected in names
+
+
+# ------------------------------------------------------------------ ts-table
+
+def test_ts_table_variants_pin_the_axis():
+    """The ts_table_entries axis of the ROADMAP protocol item: the variant
+    group ranges LRU-evicting table capacities against the paper default
+    (one entry per core, no eviction)."""
+    members = variant_group("tsocc-ts-table")
+    assert members == ["TSO-CC-4-12-3-tsTable1", "TSO-CC-4-12-3-tsTable2",
+                       "TSO-CC-4-12-3-tsTable4", "TSO-CC-4-12-3"]
+    capacities = [get_protocol(name).config.ts_table_entries
+                  for name in members]
+    assert capacities == [1, 2, 4, None]
+    # Only the capacity differs from the paper's best configuration.
+    base = get_protocol("TSO-CC-4-12-3").config
+    for name in members[:-1]:
+        config = get_protocol(name).config
+        assert (config.max_acc_bits, config.ts_bits,
+                config.write_group_bits) == (base.max_acc_bits, base.ts_bits,
+                                             base.write_group_bits)
+
+
+def test_ts_table_sweep_cell_expansion_pinned():
+    spec = get_sweep("ts-table")
+    assert spec.protocols == tuple(variant_group("tsocc-ts-table"))
+    assert spec.workloads == ("fft", "dedup", "intruder")
+    assert (spec.cores, spec.scales) == ((8,), (0.3,))
+    assert spec.num_cells == 12
+    cells = spec.cells()
+    assert cells[0] == (8, 0.3, "TSO-CC-4-12-3-tsTable1", "fft")
+    assert cells[-1] == (8, 0.3, "TSO-CC-4-12-3", "intruder")
+
+
+def test_ts_table_sweep_cache_keys_stable_across_processes():
+    """The sweep's cache keys are a pure function of its declaration: an
+    independent interpreter computes byte-identical keys, so ts-table
+    cells cache and shard exactly like every other cell."""
+    import json
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    from repro.analysis.backends import plan_sweep
+
+    spec = get_sweep("ts-table")
+    plan = plan_sweep(spec, shard_count=1)
+    ours = [cell.key for cell in plan.cells]
+    assert len(set(ours)) == spec.num_cells
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    script = (
+        "import json, sys\n"
+        f"sys.path.insert(0, {src!r})\n"
+        "from repro.analysis.backends import plan_sweep\n"
+        "from repro.analysis.sweeps import get_sweep\n"
+        "plan = plan_sweep(get_sweep('ts-table'), shard_count=1)\n"
+        "print(json.dumps([cell.key for cell in plan.cells]))\n"
+    )
+    theirs = json.loads(subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True,
+        check=True).stdout)
+    assert ours == theirs
 
 
 def test_bundled_sweeps_reference_registered_configurations():
@@ -103,7 +165,7 @@ def test_sweeps_registry_order_is_stable():
 
 def test_variant_groups_published_for_every_tsocc_axis():
     for group in ("tsocc-timestamp-bits", "tsocc-access-counter",
-                  "tsocc-decay", "tsocc-shared-ro"):
+                  "tsocc-decay", "tsocc-shared-ro", "tsocc-ts-table"):
         members = variant_group(group)
         assert len(members) >= 2
         for name in members:
