@@ -317,6 +317,7 @@ class ResultCache:
         if not self.enabled:
             return
         path = self.path(key)
+        tmp: Optional[Path] = None
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             # Per-process tmp name so concurrent writers of the same key
@@ -325,6 +326,13 @@ class ResultCache:
             tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
             tmp.replace(path)
         except OSError as exc:
+            # Don't leave the per-pid tmp behind (e.g. when the final rename
+            # failed) — stale tmps would accumulate in shared cache roots.
+            if tmp is not None:
+                try:
+                    tmp.unlink(missing_ok=True)
+                except OSError:
+                    pass
             self.enabled = False
             print(f"warning: result cache at {self.root} is unusable ({exc}); "
                   f"continuing without caching", file=sys.stderr)

@@ -38,6 +38,11 @@ class MessageClass(Enum):
     WRITEBACK = "writeback"
     BROADCAST = "broadcast"
 
+    # Enum.__hash__ hashes the member *name* at Python level; members are
+    # singletons, so identity hashing is equivalent and keeps hot-path dict
+    # lookups (stats breakdowns, dispatch tables) off the interpreter.
+    __hash__ = object.__hash__
+
 
 class MessageType(Enum):
     """All message types used by the MESI and TSO-CC controllers.
@@ -81,6 +86,10 @@ class MessageType(Enum):
         self.label = label
         self.msg_class = msg_class
         self.carries_data = carries_data
+
+    # Identity hashing — see MessageClass.  MessageType keys every per-type
+    # traffic counter and every controller dispatch table.
+    __hash__ = object.__hash__
 
 
 _MESSAGE_SEQ = itertools.count()

@@ -53,6 +53,11 @@ class Scheduler(Protocol):
         """Run ``callback`` ``delay`` cycles in the future."""
         ...
 
+    def schedule_call(self, delay: int, callback: Callable[..., None],
+                      *args) -> None:
+        """Run ``callback(*args)`` ``delay`` cycles in the future."""
+        ...
+
 
 @dataclass
 class NetworkStats:
@@ -61,8 +66,11 @@ class NetworkStats:
     Attributes:
         messages: total messages delivered.
         flits: total flits delivered (the Figure 4 metric).
-        hops_weighted_flits: sum of ``flits * hops`` (link traversals), a
-            finer-grained energy proxy.
+        hops_weighted_flits: sum of ``flits * max(1, hops)``, a
+            finer-grained energy proxy.  Note the floor: a co-located
+            (hops=0) L1/L2 pair still crosses the tile-local interconnect
+            once, so zero-hop messages are charged one link traversal.
+            Goldens pin these numbers; see DESIGN.md "Traffic accounting".
         by_class: messages per :class:`MessageClass`.
         flits_by_class: flits per :class:`MessageClass`.
         by_type: messages per :class:`MessageType`.
@@ -76,12 +84,15 @@ class NetworkStats:
     by_type: Dict[MessageType, int] = field(default_factory=lambda: defaultdict(int))
 
     def record(self, msg: Message, flits: int, hops: int) -> None:
-        """Account one delivered message."""
+        """Account one delivered message (``flits * max(1, hops)`` link
+        traversals — zero-hop messages are floored to one, see the class
+        docstring)."""
         self.messages += 1
         self.flits += flits
-        self.hops_weighted_flits += flits * max(1, hops)
-        self.by_class[msg.mtype.msg_class] += 1
-        self.flits_by_class[msg.mtype.msg_class] += flits
+        mclass = msg.mtype.msg_class
+        self.hops_weighted_flits += flits * (hops if hops > 1 else 1)
+        self.by_class[mclass] += 1
+        self.flits_by_class[mclass] += flits
         self.by_type[msg.mtype] += 1
 
     def as_dict(self) -> Dict[str, float]:
@@ -164,6 +175,17 @@ class Network:
         self.stats = NetworkStats()
         self._handlers: Dict[int, MessageHandler] = {}
         self._in_flight = 0
+        # Hot-path precomputation: hop counts are a frozen property of the
+        # topology, and flit counts take only two values (control vs. full
+        # line), so `send` reduces to table lookups + one heap push.
+        self._hops = topology.hops_table
+        self._ctrl_flits = max(1, -(-header_bytes // flit_bytes))
+        self._data_flits = max(1, -(-(header_bytes + line_bytes) // flit_bytes))
+        max_hops = max((max(row) for row in self._hops), default=0)
+        self._base_latency = tuple(
+            router_latency * (h + 1) + link_latency * h
+            for h in range(max_hops + 1)
+        )
 
     # -- registration ------------------------------------------------------
 
@@ -194,22 +216,36 @@ class Network:
         latency plus ``extra_delay`` (used by controllers to model their own
         occupancy / access latencies without scheduling separate events).
         """
-        if msg.dst not in self._handlers:
+        handler = self._handlers.get(msg.dst)
+        if handler is None:
             raise ValueError(f"no handler registered for destination node {msg.dst}")
-        flits = msg.flits(self.flit_bytes, self.header_bytes, self.line_bytes)
-        hops = self.topology.hops(msg.src, msg.dst)
-        self.stats.record(msg, flits, hops)
-        msg.send_time = self.scheduler.now
-        delay = self.latency(msg.src, msg.dst, flits) + max(0, extra_delay)
-        handler = self._handlers[msg.dst]
+        mtype = msg.mtype
+        if mtype.carries_data and msg.data is not None:
+            flits = self._data_flits
+        else:
+            flits = self._ctrl_flits
+        hops = self._hops[msg.src][msg.dst]
+        stats = self.stats
+        stats.messages += 1
+        stats.flits += flits
+        stats.hops_weighted_flits += flits * (hops if hops > 1 else 1)
+        mclass = mtype.msg_class
+        stats.by_class[mclass] += 1
+        stats.flits_by_class[mclass] += flits
+        stats.by_type[mtype] += 1
+        scheduler = self.scheduler
+        msg.send_time = scheduler.now
+        raw = self._base_latency[hops] + (flits - 1)
+        delay = raw if raw > self.min_latency else self.min_latency
+        if extra_delay > 0:
+            delay += extra_delay
         self._in_flight += 1
-
-        def deliver() -> None:
-            self._in_flight -= 1
-            handler.handle_message(msg)
-
-        self.scheduler.schedule(delay, deliver)
+        scheduler.schedule_call(delay, self._deliver, handler, msg)
         return delay
+
+    def _deliver(self, handler: MessageHandler, msg: Message) -> None:
+        self._in_flight -= 1
+        handler.handle_message(msg)
 
     def broadcast(
         self,

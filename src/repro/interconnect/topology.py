@@ -18,6 +18,7 @@ slice take zero hops.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Tuple
 
 
@@ -80,7 +81,7 @@ class MeshTopology:
 
     # -- geometry ----------------------------------------------------------
 
-    @property
+    @cached_property
     def cols(self) -> int:
         """Number of mesh columns (enough to place every core)."""
         tiles = max(self.num_cores, self.num_l2_tiles)
@@ -90,24 +91,48 @@ class MeshTopology:
         """Return the (row, col) of physical mesh tile ``tile_index``."""
         return (tile_index // self.cols, tile_index % self.cols)
 
+    @cached_property
+    def _node_positions(self) -> Tuple[Tuple[int, int], ...]:
+        """Mesh coordinates of every node id, computed once.
+
+        The topology is frozen, so positions (and the hops table below) are
+        immutable; caching them turns every geometry query on the message
+        delivery path into a tuple index.
+        """
+        mesh_tiles = self.rows * self.cols
+        positions = []
+        for node_id in range(self.num_nodes):
+            if node_id < self.num_cores:
+                tile_index = node_id % mesh_tiles
+            else:
+                tile_index = (node_id - self.num_cores) % mesh_tiles
+            positions.append(self._mesh_position(tile_index))
+        return tuple(positions)
+
+    @cached_property
+    def hops_table(self) -> Tuple[Tuple[int, ...], ...]:
+        """``hops_table[src][dst]`` — precomputed Manhattan hop counts."""
+        positions = self._node_positions
+        return tuple(
+            tuple(abs(r1 - r2) + abs(c1 - c2) for (r2, c2) in positions)
+            for (r1, c1) in positions
+        )
+
     def node_position(self, node_id: int) -> Tuple[int, int]:
         """Return the (row, col) mesh coordinates of a network node.
 
         Cores are placed round-robin over mesh tiles; L2 tiles likewise, so
         with equal counts core ``i`` and tile ``i`` share a mesh tile.
         """
-        mesh_tiles = self.rows * self.cols
-        if self.is_l1_node(node_id):
-            return self._mesh_position(self.core_of_node(node_id) % mesh_tiles)
-        if self.is_l2_node(node_id):
-            return self._mesh_position(self.tile_of_node(node_id) % mesh_tiles)
-        raise ValueError(f"unknown node id {node_id}")
+        if not 0 <= node_id < self.num_nodes:
+            raise ValueError(f"unknown node id {node_id}")
+        return self._node_positions[node_id]
 
     def hops(self, src: int, dst: int) -> int:
         """Manhattan (XY-routing) hop count between two nodes."""
-        (r1, c1) = self.node_position(src)
-        (r2, c2) = self.node_position(dst)
-        return abs(r1 - r2) + abs(c1 - c2)
+        if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
+            raise ValueError(f"unknown node id in ({src}, {dst})")
+        return self.hops_table[src][dst]
 
     def all_l1_nodes(self) -> list[int]:
         """Node ids of every L1 controller."""

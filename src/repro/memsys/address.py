@@ -51,19 +51,20 @@ class AddressMap:
             raise ValueError(f"line_size must be a power of two, got {self.line_size}")
         if self.num_l2_tiles < 1:
             raise ValueError(f"num_l2_tiles must be >= 1, got {self.num_l2_tiles}")
-
-    @property
-    def offset_bits(self) -> int:
-        """Number of byte-offset bits within a cache line."""
-        return log2_int(self.line_size)
+        # Precompute the masks once (the dataclass is frozen, so plain
+        # assignment is blocked); line_address/line_offset sit on the hot
+        # path of every cache access.
+        object.__setattr__(self, "line_mask", ~(self.line_size - 1))
+        object.__setattr__(self, "offset_mask", self.line_size - 1)
+        object.__setattr__(self, "offset_bits", log2_int(self.line_size))
 
     def line_address(self, address: int) -> int:
         """Return the line-aligned address containing ``address``."""
-        return address & ~(self.line_size - 1)
+        return address & self.line_mask
 
     def line_offset(self, address: int) -> int:
         """Return the byte offset of ``address`` within its cache line."""
-        return address & (self.line_size - 1)
+        return address & self.offset_mask
 
     def line_index(self, address: int) -> int:
         """Return the line number (line address divided by line size)."""

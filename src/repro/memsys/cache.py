@@ -73,6 +73,7 @@ class CacheArray:
         ]
         # line_address -> (set_index, way) for O(1) lookup
         self._index: Dict[int, tuple] = {}
+        self._line_mask = address_map.line_mask
 
     # -- basic queries ----------------------------------------------------
 
@@ -100,8 +101,15 @@ class CacheArray:
         return CacheLookupResult(hit=True, line=self._sets[set_index][way])
 
     def get_line(self, address: int) -> Optional[CacheLine]:
-        """Return the resident line containing ``address`` or ``None``."""
-        return self.lookup(address, touch=False).line
+        """Return the resident line containing ``address`` or ``None``.
+
+        Equivalent to ``lookup(address, touch=False).line`` without the
+        per-call result object — this is the controllers' hottest query.
+        """
+        loc = self._index.get(address & self._line_mask)
+        if loc is None:
+            return None
+        return self._sets[loc[0]][loc[1]]
 
     def lines(self) -> Iterator[CacheLine]:
         """Iterate over all resident lines (no particular order)."""

@@ -1,0 +1,45 @@
+"""Continuous performance trajectory: pinned benchmarks and the regression gate.
+
+``repro bench`` times a small set of *pinned* workloads — the ci-smoke sweep,
+the canonical litmus suite, a slice of the fuzz-smoke conformance campaign,
+and a fully-warm result-cache pass — and emits a schema-versioned
+``BENCH_<n>.json`` at the repo root plus a machine-readable baseline under
+``benchmarks/results/``.  ``repro bench --check`` compares the fresh
+measurement against the newest prior bench file (or the committed baseline)
+and exits nonzero on regression, which is how CI keeps the simulator's raw
+speed from silently eroding.
+
+See EXPERIMENTS.md ("Benchmarking & the perf trajectory") for the workflow.
+"""
+
+from repro.perf.harness import (
+    BENCH_SCHEMA_VERSION,
+    CURRENT_BENCH_ID,
+    METRIC_DIRECTIONS,
+    bench_file_name,
+    run_bench,
+    write_bench,
+)
+from repro.perf.gate import (
+    DEFAULT_TOLERANCE,
+    GateResult,
+    check_regression,
+    find_baseline,
+    load_bench_file,
+    run_gate,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "CURRENT_BENCH_ID",
+    "DEFAULT_TOLERANCE",
+    "METRIC_DIRECTIONS",
+    "GateResult",
+    "bench_file_name",
+    "check_regression",
+    "find_baseline",
+    "load_bench_file",
+    "run_bench",
+    "run_gate",
+    "write_bench",
+]

@@ -1,0 +1,194 @@
+"""Perf regression gate: compare a fresh bench payload against a baseline.
+
+The gate is direction-aware (throughputs must not drop, overheads must not
+grow) and tolerance-based: shared CI runners are noisy, so the default
+tolerance is generous and the harness reports medians.  A missing baseline
+is a pass — the first run *establishes* the trajectory — while a malformed
+or stale-schema baseline file is skipped with a warning rather than
+crashing the build it was meant to protect.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.perf.harness import BENCH_SCHEMA_VERSION, METRIC_DIRECTIONS
+
+#: Default relative tolerance: a throughput may drop (or an overhead grow)
+#: by up to this fraction before the gate fails.  Deliberately generous for
+#: shared CI runners; tighten locally with ``--tolerance``.
+DEFAULT_TOLERANCE = 0.35
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+_BASELINE_NAME = re.compile(r"^bench_(\d+)\.json$")
+
+
+def load_bench_file(path: Path,
+                    warnings: Optional[List[str]] = None) -> Optional[Dict]:
+    """Load and validate one bench file; return ``None`` when unusable.
+
+    Unusable means unreadable, not a JSON object, missing ``metrics``, or
+    carrying a different ``schema`` than this code understands.  The reason
+    is appended to ``warnings`` when provided.
+    """
+    def reject(reason: str) -> None:
+        if warnings is not None:
+            warnings.append(f"{path}: {reason}")
+
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        reject(f"unreadable bench file ({exc})")
+        return None
+    if not isinstance(payload, dict):
+        reject("bench payload is not a JSON object")
+        return None
+    if payload.get("schema") != BENCH_SCHEMA_VERSION:
+        reject(f"stale bench schema {payload.get('schema')!r} "
+               f"(expected {BENCH_SCHEMA_VERSION})")
+        return None
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        reject("bench payload has no metrics")
+        return None
+    return payload
+
+
+def find_baseline(
+    repo_root: Path,
+    current_id: int,
+    warnings: Optional[List[str]] = None,
+) -> Optional[Tuple[Path, Dict]]:
+    """Resolve the baseline to gate against, newest-first.
+
+    Search order:
+
+    1. the newest ``BENCH_<m>.json`` at the repo root with ``m <
+       current_id`` (a prior trajectory point left in the tree);
+    2. the newest valid ``benchmarks/results/bench_<m>.json`` with ``m <=
+       current_id`` (the committed baseline — including the one for the
+       *current* id, so CI re-measurements are judged against the number
+       this checkout committed).
+
+    Invalid candidates are skipped (with a warning) rather than ending the
+    search — a corrupted newest file must not hide an older valid baseline.
+    """
+    repo_root = Path(repo_root)
+
+    candidates: List[Tuple[int, int, Path]] = []
+    for path in repo_root.glob("BENCH_*.json"):
+        match = _BENCH_NAME.match(path.name)
+        if match and int(match.group(1)) < current_id:
+            candidates.append((int(match.group(1)), 1, path))
+    results_dir = repo_root / "benchmarks" / "results"
+    if results_dir.is_dir():
+        for path in results_dir.glob("bench_*.json"):
+            match = _BASELINE_NAME.match(path.name)
+            if match and int(match.group(1)) <= current_id:
+                candidates.append((int(match.group(1)), 0, path))
+
+    # Prefer root trajectory points over committed baselines of the same id,
+    # and higher ids over lower.
+    for _, _, path in sorted(candidates, key=lambda c: (c[0], c[1]),
+                             reverse=True):
+        payload = load_bench_file(path, warnings)
+        if payload is not None:
+            return path, payload
+    return None
+
+
+@dataclass
+class GateResult:
+    """Outcome of one regression check.
+
+    Attributes:
+        passed: ``False`` iff at least one metric regressed beyond
+            tolerance.
+        baseline_path: the baseline compared against (``None`` when no
+            valid baseline exists — which is a pass).
+        regressions: human-readable description per failing metric.
+        comparisons: one line per compared metric (for reporting).
+        warnings: skipped/invalid baseline files and metric mismatches.
+    """
+
+    passed: bool
+    baseline_path: Optional[Path] = None
+    regressions: List[str] = field(default_factory=list)
+    comparisons: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+
+def check_regression(
+    current: Dict,
+    baseline: Dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> GateResult:
+    """Compare ``current`` against ``baseline`` metric-by-metric.
+
+    A throughput metric fails when it is below ``baseline * (1 -
+    tolerance)``; an overhead metric fails when above ``baseline * (1 +
+    tolerance)``.  Metrics present on only one side are warned about, not
+    failed — adding a metric must not retroactively break the gate.
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    result = GateResult(passed=True)
+    current_metrics: Dict[str, float] = dict(current.get("metrics", {}))
+    baseline_metrics: Dict[str, float] = dict(baseline.get("metrics", {}))
+    for name in sorted(set(current_metrics) | set(baseline_metrics)):
+        if name not in current_metrics or name not in baseline_metrics:
+            result.warnings.append(
+                f"metric {name!r} present in only one payload; skipped")
+            continue
+        cur = float(current_metrics[name])
+        base = float(baseline_metrics[name])
+        direction = METRIC_DIRECTIONS.get(name, "higher")
+        if direction == "higher":
+            bound = base * (1 - tolerance)
+            regressed = cur < bound
+            verdict = "ok" if not regressed else "REGRESSED"
+            result.comparisons.append(
+                f"{name}: {cur:.2f} vs baseline {base:.2f} "
+                f"(floor {bound:.2f}) {verdict}")
+        else:
+            bound = base * (1 + tolerance)
+            regressed = cur > bound
+            verdict = "ok" if not regressed else "REGRESSED"
+            result.comparisons.append(
+                f"{name}: {cur:.4f} vs baseline {base:.4f} "
+                f"(ceiling {bound:.4f}) {verdict}")
+        if regressed:
+            result.passed = False
+            result.regressions.append(
+                f"{name} regressed: {cur:.4g} vs baseline {base:.4g} "
+                f"(tolerance {tolerance:.0%})")
+    return result
+
+
+def run_gate(
+    current: Dict,
+    repo_root: Path,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> GateResult:
+    """Full gate: resolve the baseline for ``current`` and compare.
+
+    No valid baseline -> pass (the caller should persist ``current`` as the
+    new baseline; ``write_bench`` already does).
+    """
+    warnings: List[str] = []
+    found = find_baseline(repo_root, int(current.get("bench_id", 0)),
+                          warnings)
+    if found is None:
+        result = GateResult(passed=True, warnings=warnings)
+        result.comparisons.append(
+            "no valid baseline found; first run establishes the trajectory")
+        return result
+    path, baseline = found
+    result = check_regression(current, baseline, tolerance)
+    result.baseline_path = path
+    result.warnings = warnings + result.warnings
+    return result

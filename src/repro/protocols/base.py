@@ -146,6 +146,12 @@ class BaseL1Controller:
     shared_state: ClassVar[Any] = None
     #: State a line enters when the core writes it.
     modified_state: ClassVar[Any] = None
+    #: MessageType -> handler *method name*.  Each protocol declares its
+    #: dispatch table once at class level; ``__init__`` resolves the names
+    #: to bound methods (so subclass overrides are honoured) and
+    #: ``handle_message`` becomes a single dict lookup instead of building
+    #: a literal per delivered message.
+    message_handlers: ClassVar[Dict[MessageType, str]] = {}
 
     def __init__(
         self,
@@ -170,9 +176,21 @@ class BaseL1Controller:
         self._pending: Dict[int, PendingTransaction] = {}
         self._evicting: Dict[int, CacheLine] = {}
         self._evict_waiters: Dict[int, List[Callable[[], None]]] = {}
+        self._dispatch = {
+            mtype: getattr(self, name)
+            for mtype, name in self.message_handlers.items()
+        }
         network.register(self.node_id, self)
 
     # -- messaging ------------------------------------------------------------
+
+    def handle_message(self, msg: Message) -> None:
+        """Dispatch a network message through the precomputed handler table."""
+        handler = self._dispatch.get(msg.mtype)
+        if handler is None:
+            raise RuntimeError(
+                f"{self.protocol_label} L1[{self.core_id}]: unexpected message {msg!r}")
+        handler(msg)
 
     def home_node(self, address: int) -> int:
         """Network node id of the home L2 tile for ``address``."""
@@ -440,6 +458,12 @@ class BaseL2Controller:
     exclusive_state: ClassVar[Any] = None
     #: Directory state meaning "no tracked L1 copies".
     idle_state: ClassVar[Any] = None
+    #: MessageType -> handler *method name* (see BaseL1Controller).
+    message_handlers: ClassVar[Dict[MessageType, str]] = {}
+    #: Message types that must wait while their line is in a transient
+    #: (blocked) state — requests and writebacks, but never the acks that
+    #: resolve the transient state.
+    blocking_types: ClassVar[frozenset] = frozenset()
 
     def __init__(
         self,
@@ -467,6 +491,10 @@ class BaseL2Controller:
         self._blocked: Dict[int, List[Message]] = {}
         # line address -> in-progress recall/eviction bookkeeping
         self._recalls: Dict[int, Dict] = {}
+        self._dispatch = {
+            mtype: getattr(self, name)
+            for mtype, name in self.message_handlers.items()
+        }
         network.register(self.node_id, self)
 
     # -- messaging ------------------------------------------------------------
@@ -662,6 +690,20 @@ class BaseL2Controller:
         """Schedule ``fn`` after ``delay`` cycles."""
         self.sim.schedule(delay, fn)
 
-    def handle_message(self, msg: Message) -> None:  # pragma: no cover - abstract
-        """Process a network message (implemented by protocol subclasses)."""
-        raise NotImplementedError
+    def handle_message(self, msg: Message) -> None:
+        """Dispatch one message through the precomputed handler table.
+
+        Requests and writebacks (the protocol's ``blocking_types``) to lines
+        in transient states are queued and replayed when the line unblocks:
+        e.g. processing a PutM while a forwarded request to its sender is
+        still in flight would acknowledge the writeback early and let the
+        owner drop the line before serving the forward.
+        """
+        if self._blocked and msg.mtype in self.blocking_types \
+                and self.defer_if_blocked(msg):
+            return
+        handler = self._dispatch.get(msg.mtype)
+        if handler is None:
+            raise RuntimeError(
+                f"{self.protocol_label} L2[{self.tile_id}]: unexpected message {msg!r}")
+        handler(msg)

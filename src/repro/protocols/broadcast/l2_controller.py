@@ -46,6 +46,16 @@ class BroadcastL2Controller(BaseL2Controller):
     protocol_label = "Broadcast"
     exclusive_state = None           # no owner tracking exists
     idle_state = BroadcastL2State.VALID
+    message_handlers = {
+        MessageType.GETS: "_on_gets",
+        MessageType.GETX: "_on_getx",
+        MessageType.PUTM: "_on_putm",
+        MessageType.DOWNGRADE_ACK: "_on_snoop_ack",
+        MessageType.L1_ACK: "_on_grant_installed",
+    }
+    blocking_types = frozenset({
+        MessageType.GETS, MessageType.GETX, MessageType.PUTM,
+    })
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -57,22 +67,8 @@ class BroadcastL2Controller(BaseL2Controller):
         return self.topology.num_cores
 
     # ------------------------------------------------------------------ dispatch
-
-    def handle_message(self, msg: Message) -> None:
-        if msg.mtype in (MessageType.GETS, MessageType.GETX, MessageType.PUTM):
-            if self.defer_if_blocked(msg):
-                return
-        handler = {
-            MessageType.GETS: self._on_gets,
-            MessageType.GETX: self._on_getx,
-            MessageType.PUTM: self._on_putm,
-            MessageType.DOWNGRADE_ACK: self._on_snoop_ack,
-            MessageType.L1_ACK: self._on_grant_installed,
-        }.get(msg.mtype)
-        if handler is None:
-            raise RuntimeError(
-                f"{self.protocol_label} L2[{self.tile_id}]: unexpected message {msg!r}")
-        handler(msg)
+    # handle_message comes from BaseL2Controller, driven by message_handlers
+    # and blocking_types.
 
     # ------------------------------------------------------------------ requests
 

@@ -30,6 +30,18 @@ class MESIL1Controller(BaseL1Controller):
     shared_state = MESIL1State.SHARED
     exclusive_state = MESIL1State.EXCLUSIVE
     modified_state = MESIL1State.MODIFIED
+    message_handlers = {
+        MessageType.DATA_E: "_on_data",
+        MessageType.DATA_S: "_on_data",
+        MessageType.DATA_X: "_on_data",
+        MessageType.DATA_OWNER: "_on_data",
+        MessageType.ACK: "_on_grant_ack",
+        MessageType.FWD_GETS: "_on_fwd_gets",
+        MessageType.FWD_GETX: "_on_fwd_getx",
+        MessageType.INV: "handle_invalidation",
+        MessageType.RECALL: "_on_recall",
+        MessageType.PUT_ACK: "_on_put_ack",
+    }
 
     # ------------------------------------------------------------------ core ops
 
@@ -122,25 +134,7 @@ class MESIL1Controller(BaseL1Controller):
         self.complete_with_latency(callback, latency=1)
 
     # ------------------------------------------------------------------ messages
-
-    def handle_message(self, msg: Message) -> None:
-        """Dispatch a network message to the relevant handler."""
-        handler = {
-            MessageType.DATA_E: self._on_data,
-            MessageType.DATA_S: self._on_data,
-            MessageType.DATA_X: self._on_data,
-            MessageType.DATA_OWNER: self._on_data,
-            MessageType.ACK: self._on_grant_ack,
-            MessageType.FWD_GETS: self._on_fwd_gets,
-            MessageType.FWD_GETX: self._on_fwd_getx,
-            MessageType.INV: self.handle_invalidation,
-            MessageType.RECALL: self._on_recall,
-            MessageType.PUT_ACK: self._on_put_ack,
-        }.get(msg.mtype)
-        if handler is None:
-            raise RuntimeError(
-                f"{self.protocol_label} L1[{self.core_id}]: unexpected message {msg!r}")
-        handler(msg)
+    # handle_message comes from BaseL1Controller, driven by message_handlers.
 
     # -- data responses ---------------------------------------------------------
 
@@ -148,13 +142,14 @@ class MESIL1Controller(BaseL1Controller):
         assert msg.address is not None
         txn = self.response_txn(msg)
         self.stats.data_responses += 1
-        state = {
-            MessageType.DATA_E: self.exclusive_state,
-            MessageType.DATA_S: self.shared_state,
-            MessageType.DATA_X: self.modified_state,
-            MessageType.DATA_OWNER: None,
-        }[msg.mtype]
-        if msg.mtype is MessageType.DATA_OWNER:
+        mtype = msg.mtype
+        if mtype is MessageType.DATA_E:
+            state = self.exclusive_state
+        elif mtype is MessageType.DATA_S:
+            state = self.shared_state
+        elif mtype is MessageType.DATA_X:
+            state = self.modified_state
+        else:  # DATA_OWNER
             # Data forwarded by the previous owner: shared for loads,
             # modified for stores/RMWs.
             state = self.shared_state if txn.kind == "load" else self.modified_state

@@ -44,6 +44,21 @@ class MESIL2Controller(BaseL2Controller):
     idle_state = MESIDirState.VALID
     #: Directory state meaning "one or more tracked L1 sharers".
     shared_state = MESIDirState.SHARED
+    message_handlers = {
+        MessageType.GETS: "_on_gets",
+        MessageType.GETX: "_on_getx",
+        MessageType.DOWNGRADE_ACK: "_on_downgrade_ack",
+        MessageType.TRANSFER_ACK: "_on_transfer_ack",
+        MessageType.INV_ACK: "_on_inv_ack",
+        MessageType.PUTS: "_on_puts",
+        MessageType.PUTE: "_on_pute",
+        MessageType.PUTM: "_on_putm",
+        MessageType.WB_DATA: "handle_wb_data",
+    }
+    blocking_types = frozenset({
+        MessageType.GETS, MessageType.GETX,
+        MessageType.PUTS, MessageType.PUTE, MessageType.PUTM,
+    })
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -52,34 +67,11 @@ class MESIL2Controller(BaseL2Controller):
 
     # ------------------------------------------------------------------ dispatch
 
-    def handle_message(self, msg: Message) -> None:
-        """Process one message; requests to lines in transient states are
-        queued and replayed when the line unblocks.
-
-        Writebacks (Put*) are deferred as well: processing a PutM while a
-        forwarded request to its sender is still in flight would acknowledge
-        the writeback early and let the owner drop the line before serving
-        the forward.
-        """
-        if msg.mtype in (MessageType.GETS, MessageType.GETX,
-                         MessageType.PUTS, MessageType.PUTE, MessageType.PUTM):
-            if self.defer_if_blocked(msg):
-                return
-        handler = {
-            MessageType.GETS: self._on_gets,
-            MessageType.GETX: self._on_getx,
-            MessageType.DOWNGRADE_ACK: self._on_downgrade_ack,
-            MessageType.TRANSFER_ACK: self._on_transfer_ack,
-            MessageType.INV_ACK: self._on_inv_ack,
-            MessageType.PUTS: self._on_puts,
-            MessageType.PUTE: self._on_pute,
-            MessageType.PUTM: self._on_putm,
-            MessageType.WB_DATA: self.handle_wb_data,
-        }.get(msg.mtype)
-        if handler is None:
-            raise RuntimeError(
-                f"{self.protocol_label} L2[{self.tile_id}]: unexpected message {msg!r}")
-        handler(msg)
+    # handle_message comes from BaseL2Controller, driven by message_handlers
+    # and blocking_types (writebacks defer while their line is blocked:
+    # acknowledging a Put while a forwarded request to its sender is still
+    # in flight would let the owner drop the line before serving the
+    # forward).
 
     # ------------------------------------------------------------------ grants
 

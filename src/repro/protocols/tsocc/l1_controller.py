@@ -46,6 +46,19 @@ class TSOCCL1Controller(BaseL1Controller):
     state_enum = TSOCCL1State
     shared_state = TSOCCL1State.SHARED
     modified_state = TSOCCL1State.MODIFIED
+    message_handlers = {
+        MessageType.DATA_E: "_on_data",
+        MessageType.DATA_S: "_on_data",
+        MessageType.DATA_SRO: "_on_data",
+        MessageType.DATA_X: "_on_data",
+        MessageType.DATA_OWNER: "_on_data",
+        MessageType.FWD_GETS: "_on_fwd_gets",
+        MessageType.FWD_GETX: "_on_fwd_getx",
+        MessageType.INV: "handle_invalidation",
+        MessageType.RECALL: "_on_recall",
+        MessageType.PUT_ACK: "_on_put_ack",
+        MessageType.TS_RESET: "_on_ts_reset",
+    }
 
     def __init__(
         self,
@@ -295,24 +308,7 @@ class TSOCCL1Controller(BaseL1Controller):
 
     # ------------------------------------------------------------------ messages
 
-    def handle_message(self, msg: Message) -> None:
-        """Dispatch a network message to the relevant handler."""
-        handler = {
-            MessageType.DATA_E: self._on_data,
-            MessageType.DATA_S: self._on_data,
-            MessageType.DATA_SRO: self._on_data,
-            MessageType.DATA_X: self._on_data,
-            MessageType.DATA_OWNER: self._on_data,
-            MessageType.FWD_GETS: self._on_fwd_gets,
-            MessageType.FWD_GETX: self._on_fwd_getx,
-            MessageType.INV: self.handle_invalidation,
-            MessageType.RECALL: self._on_recall,
-            MessageType.PUT_ACK: self._on_put_ack,
-            MessageType.TS_RESET: self._on_ts_reset,
-        }.get(msg.mtype)
-        if handler is None:
-            raise RuntimeError(f"TSO-CC L1[{self.core_id}]: unexpected message {msg!r}")
-        handler(msg)
+    # handle_message comes from BaseL1Controller, driven by message_handlers.
 
     # -- data responses ---------------------------------------------------------
 

@@ -48,6 +48,22 @@ class TSOCCL2Controller(BaseL2Controller):
     protocol_label = "TSO-CC"
     exclusive_state = TSOCCL2State.EXCLUSIVE
     idle_state = TSOCCL2State.UNCACHED
+    message_handlers = {
+        MessageType.GETS: "_on_gets",
+        MessageType.GETX: "_on_getx",
+        MessageType.L1_ACK: "_on_l1_ack",
+        MessageType.DOWNGRADE_ACK: "_on_downgrade_ack",
+        MessageType.TRANSFER_ACK: "_on_transfer_ack",
+        MessageType.INV_ACK: "_on_inv_ack",
+        MessageType.PUTE: "_on_pute",
+        MessageType.PUTM: "_on_putm",
+        MessageType.WB_DATA: "handle_wb_data",
+        MessageType.TS_RESET: "_on_ts_reset",
+    }
+    blocking_types = frozenset({
+        MessageType.GETS, MessageType.GETX,
+        MessageType.PUTE, MessageType.PUTM,
+    })
 
     def __init__(
         self,
@@ -129,34 +145,11 @@ class TSOCCL2Controller(BaseL2Controller):
 
     # ------------------------------------------------------------------ dispatch
 
-    def handle_message(self, msg: Message) -> None:
-        """Process one message; requests to blocked (transient) lines are
-        queued and replayed when the line unblocks.
-
-        Writebacks (Put*) are deferred too: acknowledging a put while a
-        forwarded request to the same owner is still in flight would let the
-        owner drop its copy before serving the forward (§3.2's requirement
-        that the L2 only acts on stable lines).
-        """
-        if msg.mtype in (MessageType.GETS, MessageType.GETX,
-                         MessageType.PUTE, MessageType.PUTM):
-            if self.defer_if_blocked(msg):
-                return
-        handler = {
-            MessageType.GETS: self._on_gets,
-            MessageType.GETX: self._on_getx,
-            MessageType.L1_ACK: self._on_l1_ack,
-            MessageType.DOWNGRADE_ACK: self._on_downgrade_ack,
-            MessageType.TRANSFER_ACK: self._on_transfer_ack,
-            MessageType.INV_ACK: self._on_inv_ack,
-            MessageType.PUTE: self._on_pute,
-            MessageType.PUTM: self._on_putm,
-            MessageType.WB_DATA: self.handle_wb_data,
-            MessageType.TS_RESET: self._on_ts_reset,
-        }.get(msg.mtype)
-        if handler is None:
-            raise RuntimeError(f"TSO-CC L2[{self.tile_id}]: unexpected message {msg!r}")
-        handler(msg)
+    # handle_message comes from BaseL2Controller, driven by message_handlers
+    # and blocking_types (writebacks defer while their line is blocked:
+    # acknowledging a put while a forwarded request to the same owner is
+    # still in flight would let the owner drop its copy before serving the
+    # forward — §3.2's requirement that the L2 only acts on stable lines).
 
     # ------------------------------------------------------------------ reads
 

@@ -9,6 +9,19 @@ The engine intentionally has no notion of processes or channels — components
 communicate by calling each other and scheduling continuations — which keeps
 the per-event overhead small enough to simulate tens of millions of events in
 pure Python.
+
+Hot-path notes (measured with cProfile on the ci-smoke sweep; see
+``repro bench``):
+
+* :meth:`Simulator.run` inlines the pop-and-execute loop instead of calling
+  :meth:`step` per event, and hoists the queue and ``heappop`` into locals.
+* Completion is signalled through :meth:`Simulator.request_stop` (a plain
+  attribute check per event) rather than re-evaluating an ``until()``
+  closure on every event; the ``until`` parameter remains supported for
+  callers that genuinely need a per-event predicate.
+* :meth:`Simulator.schedule_call` schedules a callable *with arguments*
+  without forcing the caller to allocate a closure per event (the network's
+  delivery path uses this: one bound method + argument tuple per message).
 """
 
 from __future__ import annotations
@@ -16,6 +29,9 @@ from __future__ import annotations
 import heapq
 import itertools
 from typing import Callable, List, Optional, Tuple
+
+#: Empty argument tuple shared by all argument-less events.
+_NO_ARGS: tuple = ()
 
 
 class DeadlockError(RuntimeError):
@@ -33,12 +49,17 @@ class Simulator:
     Attributes:
         now: current simulation time (cycles).
         events_executed: total number of events processed so far.
+        stop_requested: set by :meth:`request_stop`; :meth:`run` returns
+            before executing the next event once this is ``True``.
     """
+
+    __slots__ = ("now", "events_executed", "stop_requested", "_queue", "_seq")
 
     def __init__(self) -> None:
         self.now: int = 0
         self.events_executed: int = 0
-        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        self.stop_requested: bool = False
+        self._queue: List[Tuple[int, int, Callable[..., None], tuple]] = []
         self._seq = itertools.count()
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> None:
@@ -50,13 +71,36 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule an event in the past (delay={delay})")
-        heapq.heappush(self._queue, (self.now + delay, next(self._seq), callback))
+        heapq.heappush(self._queue,
+                       (self.now + delay, next(self._seq), callback, _NO_ARGS))
+
+    def schedule_call(self, delay: int, callback: Callable[..., None],
+                      *args) -> None:
+        """Schedule ``callback(*args)`` to run ``delay`` cycles from now.
+
+        Equivalent to ``schedule(delay, lambda: callback(*args))`` without
+        the per-event closure allocation — used on the network delivery
+        path, where one closure per message adds up to millions of objects.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        heapq.heappush(self._queue,
+                       (self.now + delay, next(self._seq), callback, args))
 
     def schedule_at(self, time: int, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` at absolute ``time`` (must be >= now)."""
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} (now={self.now})")
-        heapq.heappush(self._queue, (time, next(self._seq), callback))
+        heapq.heappush(self._queue, (time, next(self._seq), callback, _NO_ARGS))
+
+    def request_stop(self) -> None:
+        """Ask :meth:`run` to return before executing the next event.
+
+        This is the cheap completion signal: instead of evaluating an
+        ``until()`` predicate after every event, a completion callback (e.g.
+        the last core finishing) flips this flag once.
+        """
+        self.stop_requested = True
 
     @property
     def pending_events(self) -> int:
@@ -67,10 +111,10 @@ class Simulator:
         """Execute the next event; return ``False`` if the queue was empty."""
         if not self._queue:
             return False
-        time, _seq, callback = heapq.heappop(self._queue)
+        time, _seq, callback, args = heapq.heappop(self._queue)
         self.now = time
         self.events_executed += 1
-        callback()
+        callback(*args)
         return True
 
     def run(
@@ -82,25 +126,44 @@ class Simulator:
         """Run events until completion or a stopping condition.
 
         Args:
-            until: optional predicate checked after every event; the run
-                stops as soon as it returns ``True``.
-            max_cycles: optional hard bound on simulated time; exceeding it
-                raises :class:`RuntimeError` (used as a watchdog against
-                livelock in tests and benchmarks).
-            max_events: optional hard bound on executed events.
+            until: optional predicate checked before every event; the run
+                stops as soon as it returns ``True``.  Prefer
+                :meth:`request_stop` where possible — a predicate closure is
+                re-evaluated per event on the hottest loop in the simulator.
+            max_cycles: optional hard bound on simulated time.  The *next
+                event's own timestamp* is checked **before** its callback
+                runs, so an event scheduled past the bound never executes
+                (it used to run once, with arbitrary side effects, before
+                the watchdog fired).  Exceeding the bound raises
+                :class:`RuntimeError` naming the offending event time.
+            max_events: optional hard bound on executed events; the run may
+                execute exactly ``max_events`` events and raises
+                :class:`RuntimeError` when more remain.
 
-        The run ends normally when the event queue empties.
+        The run ends normally when the event queue empties, or early when
+        :meth:`request_stop` was called (the flag is left set; callers that
+        reuse the engine afterwards should clear ``stop_requested``).
         """
-        while self._queue:
-            if until is not None and until():
+        queue = self._queue
+        pop = heapq.heappop
+        check_until = until is not None
+        while queue:
+            if self.stop_requested:
                 return
-            if max_cycles is not None and self.now > max_cycles:
+            if check_until and until():
+                return
+            if max_cycles is not None and queue[0][0] > max_cycles:
                 raise RuntimeError(
-                    f"simulation exceeded max_cycles={max_cycles} "
-                    f"(events executed: {self.events_executed})"
+                    f"simulation exceeded max_cycles={max_cycles}: next event "
+                    f"is scheduled at cycle {queue[0][0]} "
+                    f"(events executed: {self.events_executed}, now={self.now})"
                 )
             if max_events is not None and self.events_executed >= max_events:
                 raise RuntimeError(
-                    f"simulation exceeded max_events={max_events} at cycle {self.now}"
+                    f"simulation reached max_events={max_events} at cycle "
+                    f"{self.now} with {len(queue)} events still pending"
                 )
-            self.step()
+            time, _seq, callback, args = pop(queue)
+            self.now = time
+            self.events_executed += 1
+            callback(*args)

@@ -126,6 +126,22 @@ def test_network_traffic_accounting():
     assert net.stats.as_dict()["flits"] == 6
 
 
+def test_zero_hop_message_still_weighted_as_one_hop():
+    # An L1 and its co-located L2 tile are 0 mesh hops apart, but the
+    # message still crosses the tile-local interconnect once, so the
+    # hop-weighted traffic floor is flits * 1 — never flits * 0.  Goldens
+    # pin this; see DESIGN.md ("Traffic accounting").
+    sim, topo, net, sinks = make_network()
+    l2 = topo.l2_node(0)
+    assert topo.hops(0, l2) == 0
+    net.send(Message(mtype=MessageType.GETS, src=0, dst=l2, address=0x40))
+    net.send(Message(mtype=MessageType.DATA_S, src=l2, dst=0, address=0x40,
+                     data={0: 1}))
+    sim.run()
+    assert net.stats.flits == 1 + 5
+    assert net.stats.hops_weighted_flits == 1 + 5  # floored at one hop
+
+
 def test_network_broadcast_excludes_sender():
     sim, topo, net, sinks = make_network()
     template = Message(mtype=MessageType.TS_RESET, src=0, dst=0,

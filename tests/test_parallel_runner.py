@@ -131,6 +131,39 @@ def test_corrupt_cache_entry_is_a_miss(tmp_path):
     assert not cache.path(key).read_text().startswith("{ not")  # rewritten
 
 
+def test_failed_put_cleans_up_tmp_and_disables_cache(tmp_path, monkeypatch,
+                                                     capsys):
+    from pathlib import Path
+
+    cache = ResultCache(tmp_path)
+    key = "ab" + "0" * 62
+
+    def rename_fails(self, target):
+        raise OSError("simulated rename failure")
+
+    monkeypatch.setattr(Path, "replace", rename_fails)
+    cache.put(key, {"schema": 1})
+
+    assert not cache.enabled  # best-effort: disabled, not raised
+    assert list(tmp_path.rglob("*.tmp")) == []  # no per-pid tmp left behind
+    assert "unusable" in capsys.readouterr().err
+
+
+def test_poisoned_cache_root_disables_cache_without_droppings(tmp_path,
+                                                              capsys):
+    # A cache root that is actually a file: mkdir fails before any tmp is
+    # created, the cache disables itself and the run continues.
+    root = tmp_path / "cache"
+    root.write_text("not a directory", encoding="utf-8")
+    cache = ResultCache(root)
+    cache.put("cd" + "0" * 62, {"schema": 1})
+
+    assert not cache.enabled
+    assert root.read_text(encoding="utf-8") == "not a directory"
+    assert list(tmp_path.rglob("*.tmp")) == []
+    assert "unusable" in capsys.readouterr().err
+
+
 def test_disabled_cache_writes_and_reads_nothing(tmp_path):
     config = make_tiny_config()
     executor = MatrixExecutor(config, scale=SCALE, jobs=1,

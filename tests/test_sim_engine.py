@@ -74,6 +74,59 @@ def test_max_events_watchdog():
         sim.run(max_events=50)
 
 
+def test_max_cycles_checked_before_running_offending_event():
+    # The watchdog must trip on the *next* event's timestamp, before its
+    # callback runs — an over-limit event must never execute.
+    sim = Simulator()
+    ran = []
+    sim.schedule(5, lambda: ran.append("ok"))
+    sim.schedule(2000, lambda: ran.append("past the limit"))
+    with pytest.raises(RuntimeError) as exc:
+        sim.run(max_cycles=1000)
+    assert ran == ["ok"]
+    assert "2000" in str(exc.value)  # reports the offending event's time
+    assert sim.now == 5  # clock never advanced past the last legal event
+
+
+def test_max_events_message_says_reached_at_exact_count():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1, forever)
+
+    sim.schedule(0, forever)
+    with pytest.raises(RuntimeError) as exc:
+        sim.run(max_events=50)
+    assert "reached max_events=50" in str(exc.value)
+    assert sim.events_executed == 50  # stops at exactly the limit
+
+
+def test_request_stop_halts_run_and_preserves_queue():
+    sim = Simulator()
+    ran = []
+
+    def tick(n):
+        ran.append(n)
+        if n == 3:
+            sim.request_stop()
+        sim.schedule_call(1, tick, n + 1)
+
+    sim.schedule_call(0, tick, 0)
+    sim.run()
+    assert ran == [0, 1, 2, 3]
+    assert sim.stop_requested
+    assert sim.pending_events == 1  # the already-scheduled tick(4) remains
+
+
+def test_schedule_call_passes_args_without_closure():
+    sim = Simulator()
+    seen = []
+    sim.schedule_call(2, seen.append, "x")
+    sim.schedule_call(1, seen.append, "y")
+    sim.run()
+    assert seen == ["y", "x"]
+
+
 # ---------------------------------------------------------------------- config
 
 def test_paper_system_matches_table2():
