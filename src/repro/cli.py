@@ -652,9 +652,16 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.gate import run_gate
-    from repro.perf.harness import run_bench, write_bench
+    from repro.perf.harness import profile_metric, run_bench, write_bench
 
     root = Path(args.root)
+    if args.profile is not None:
+        save = Path(args.save_profile) if args.save_profile else None
+        report = profile_metric(args.profile, top=args.top, save=save)
+        print(report, end="")
+        if save is not None:
+            print(f"wrote {save}")
+        return 0
     payload = run_bench(repeats=args.repeats, bench_id=args.bench_id,
                         progress=print)
     print("\nmetrics (median of "
@@ -920,6 +927,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--update-baseline", action="store_true",
                        help="overwrite the committed baseline under "
                             "benchmarks/results/ with this measurement")
+    from repro.perf.harness import METRIC_DIRECTIONS as _bench_metrics
+    bench.add_argument("--profile", choices=sorted(_bench_metrics),
+                       default=None, metavar="METRIC",
+                       help="instead of timing, run one pinned pass of "
+                            "METRIC under cProfile and print the hotspots "
+                            f"(choices: {', '.join(sorted(_bench_metrics))})")
+    bench.add_argument("--top", type=int, default=25,
+                       help="number of functions shown by --profile "
+                            "(default: 25)")
+    bench.add_argument("--save-profile", default=None, metavar="PATH",
+                       help="also write the --profile report to PATH")
 
     return parser
 

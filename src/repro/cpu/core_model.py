@@ -107,12 +107,16 @@ class CoreModel:
         self._store_in_flight = False
         self._stalled_store: Optional[Store] = None
         self._pending_sync: Optional[MemOp] = None
+        # Observer fast path: workloads run without an observer, so the
+        # completion callbacks can skip the observe step (and its closure
+        # allocations) entirely; the litmus runner takes the slow path.
+        self._observe = context.observe if context.observer is not None else None
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
         """Schedule the first instruction of the program."""
-        self.sim.schedule(0, lambda: self._advance(None))
+        self.sim.schedule_call(0, self._advance, None)
 
     @property
     def done(self) -> bool:
@@ -122,7 +126,13 @@ class CoreModel:
     # -- program driving ------------------------------------------------------
 
     def _advance(self, send_value: Optional[int]) -> None:
-        """Fetch the next operation from the program and execute it."""
+        """Fetch the next operation from the program and execute it.
+
+        Dispatch is inlined here (rather than a separate ``_execute``
+        method) because this resume-dispatch pair runs once per program
+        operation; types are checked most-frequent first (loads dominate
+        every workload).
+        """
         if self._program_done:
             return
         try:
@@ -135,16 +145,13 @@ class CoreModel:
             self._program_done = True
             self._try_finish()
             return
-        self._execute(op)
-
-    def _execute(self, op: MemOp) -> None:
-        if isinstance(op, Work):
-            self.stats.work_cycles += op.cycles
-            self.sim.schedule(max(1, op.cycles), lambda: self._advance(None))
-        elif isinstance(op, Load):
+        if isinstance(op, Load):
             self._execute_load(op)
         elif isinstance(op, Store):
             self._execute_store(op)
+        elif isinstance(op, Work):
+            self.stats.work_cycles += op.cycles
+            self.sim.schedule_call(max(1, op.cycles), self._advance, None)
         elif isinstance(op, RMW):
             self._execute_sync(op)
         elif isinstance(op, Fence):
@@ -158,6 +165,16 @@ class CoreModel:
         self.stats.loads += 1
         self.stats.memory_ops += 1
         forwarded = self.write_buffer.forward(op.address)
+        if self._observe is None:
+            # No observer: the completion step is just resuming the program,
+            # so the L1 (or the forwarding delay) can call _advance directly
+            # — same events, no closure per load.
+            if forwarded is not None:
+                self.sim.schedule_call(self.issue_latency, self._advance,
+                                       forwarded)
+            else:
+                self.l1.issue_load(op.address, self._advance)
+            return
         if forwarded is not None:
             # Store-to-load forwarding: the youngest buffered store to the
             # same address supplies the value without touching the cache.
@@ -187,13 +204,14 @@ class CoreModel:
             self._stalled_store = op
             return
         self._commit_store(op)
-        self.sim.schedule(self.issue_latency, lambda: self._advance(None))
+        self.sim.schedule_call(self.issue_latency, self._advance, None)
 
     def _commit_store(self, op: Store) -> None:
         entry = StoreBufferEntry(address=op.address, value=op.value,
                                  issue_time=self.sim.now)
         self.write_buffer.enqueue(entry)
-        self.context.observe("store", op.address, op.value, self.sim.now)
+        if self._observe is not None:
+            self._observe("store", op.address, op.value, self.sim.now)
         self._maybe_start_drain()
 
     def _maybe_start_drain(self) -> None:
@@ -212,7 +230,7 @@ class CoreModel:
             op = self._stalled_store
             self._stalled_store = None
             self._commit_store(op)
-            self.sim.schedule(self.issue_latency, lambda: self._advance(None))
+            self.sim.schedule_call(self.issue_latency, self._advance, None)
         # Fences / RMWs wait for an empty buffer.
         if self._pending_sync is not None and self.write_buffer.is_empty:
             pending = self._pending_sync
@@ -236,6 +254,10 @@ class CoreModel:
 
     def _run_sync(self, op: MemOp) -> None:
         if isinstance(op, RMW):
+            if self._observe is None:
+                self.l1.issue_rmw(op.address, op.modify, self._advance)
+                return
+
             def complete(old_value: int) -> None:
                 self.context.observe("rmw", op.address, old_value, self.sim.now)
                 self._advance(old_value)

@@ -26,10 +26,10 @@ mesh without hardware multicast would carry them.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Optional, Protocol
 
-from repro.interconnect.message import Message, MessageClass, MessageType
+from repro.interconnect.message import (NUM_MESSAGE_TYPES, Message,
+                                        MessageClass, MessagePool, MessageType)
 from repro.interconnect.topology import MeshTopology
 
 
@@ -59,9 +59,15 @@ class Scheduler(Protocol):
         ...
 
 
-@dataclass
 class NetworkStats:
     """Aggregate traffic statistics.
+
+    The per-type and per-class breakdowns are kept as flat lists indexed by
+    ``MessageType.index`` on the hot path (two list increments per message in
+    :meth:`Network.send`) and folded into the public enum-keyed dictionaries
+    lazily, the first time :attr:`by_type` / :attr:`by_class` /
+    :attr:`flits_by_class` is read.  Readers and writers of those
+    dictionaries (tests, :meth:`from_dict`) see exactly the old interface.
 
     Attributes:
         messages: total messages delivered.
@@ -71,17 +77,82 @@ class NetworkStats:
             (hops=0) L1/L2 pair still crosses the tile-local interconnect
             once, so zero-hop messages are charged one link traversal.
             Goldens pin these numbers; see DESIGN.md "Traffic accounting".
-        by_class: messages per :class:`MessageClass`.
-        flits_by_class: flits per :class:`MessageClass`.
-        by_type: messages per :class:`MessageType`.
+        by_type: messages per :class:`MessageType` (property).
+        by_class: messages per :class:`MessageClass` (property).
+        flits_by_class: flits per :class:`MessageClass` (property).
     """
 
-    messages: int = 0
-    flits: int = 0
-    hops_weighted_flits: int = 0
-    by_class: Dict[MessageClass, int] = field(default_factory=lambda: defaultdict(int))
-    flits_by_class: Dict[MessageClass, int] = field(default_factory=lambda: defaultdict(int))
-    by_type: Dict[MessageType, int] = field(default_factory=lambda: defaultdict(int))
+    __slots__ = ("messages", "flits", "hops_weighted_flits",
+                 "_by_class", "_flits_by_class", "_by_type",
+                 "_type_counts", "_type_flits", "_dirty")
+
+    def __init__(self, messages: int = 0, flits: int = 0,
+                 hops_weighted_flits: int = 0) -> None:
+        self.messages = messages
+        self.flits = flits
+        self.hops_weighted_flits = hops_weighted_flits
+        self._by_class: Dict[MessageClass, int] = defaultdict(int)
+        self._flits_by_class: Dict[MessageClass, int] = defaultdict(int)
+        self._by_type: Dict[MessageType, int] = defaultdict(int)
+        self._type_counts = [0] * NUM_MESSAGE_TYPES
+        self._type_flits = [0] * NUM_MESSAGE_TYPES
+        self._dirty = False
+
+    def _fold(self) -> None:
+        """Fold the flat hot-path counters into the enum-keyed dicts.
+
+        No-op unless something was recorded since the last fold — stats
+        rebuilt from the result cache (``from_dict``) never touch the flat
+        counters, and the warm-cache path reads these properties per cell.
+        """
+        if not self._dirty:
+            return
+        self._dirty = False
+        counts = self._type_counts
+        type_flits = self._type_flits
+        for mtype in MessageType:
+            index = mtype.index
+            count = counts[index]
+            if count:
+                self._by_type[mtype] += count
+                self._by_class[mtype.msg_class] += count
+                counts[index] = 0
+            fl = type_flits[index]
+            if fl:
+                self._flits_by_class[mtype.msg_class] += fl
+                type_flits[index] = 0
+
+    @property
+    def by_type(self) -> Dict[MessageType, int]:
+        """Messages per :class:`MessageType` (folds pending counters)."""
+        self._fold()
+        return self._by_type
+
+    @property
+    def by_class(self) -> Dict[MessageClass, int]:
+        """Messages per :class:`MessageClass` (folds pending counters)."""
+        self._fold()
+        return self._by_class
+
+    @property
+    def flits_by_class(self) -> Dict[MessageClass, int]:
+        """Flits per :class:`MessageClass` (folds pending counters)."""
+        self._fold()
+        return self._flits_by_class
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NetworkStats):
+            return NotImplemented
+        return (self.messages == other.messages
+                and self.flits == other.flits
+                and self.hops_weighted_flits == other.hops_weighted_flits
+                and dict(self.by_type) == dict(other.by_type)
+                and dict(self.by_class) == dict(other.by_class)
+                and dict(self.flits_by_class) == dict(other.flits_by_class))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"NetworkStats(messages={self.messages}, flits={self.flits}, "
+                f"hops_weighted_flits={self.hops_weighted_flits})")
 
     def record(self, msg: Message, flits: int, hops: int) -> None:
         """Account one delivered message (``flits * max(1, hops)`` link
@@ -89,11 +160,11 @@ class NetworkStats:
         docstring)."""
         self.messages += 1
         self.flits += flits
-        mclass = msg.mtype.msg_class
         self.hops_weighted_flits += flits * (hops if hops > 1 else 1)
-        self.by_class[mclass] += 1
-        self.flits_by_class[mclass] += flits
-        self.by_type[msg.mtype] += 1
+        index = msg.mtype.index
+        self._type_counts[index] += 1
+        self._type_flits[index] += flits
+        self._dirty = True
 
     def as_dict(self) -> Dict[str, float]:
         """Return a flat summary dictionary for reporting."""
@@ -175,6 +246,10 @@ class Network:
         self.stats = NetworkStats()
         self._handlers: Dict[int, MessageHandler] = {}
         self._in_flight = 0
+        # Message free-list shared by every controller on this network;
+        # `_deliver` recycles each pooled message once its handler returns
+        # (unless the handler retained it — see MessagePool).
+        self.pool = MessagePool()
         # Hot-path precomputation: hop counts are a frozen property of the
         # topology, and flit counts take only two values (control vs. full
         # line), so `send` reduces to table lookups + one heap push.
@@ -229,10 +304,10 @@ class Network:
         stats.messages += 1
         stats.flits += flits
         stats.hops_weighted_flits += flits * (hops if hops > 1 else 1)
-        mclass = mtype.msg_class
-        stats.by_class[mclass] += 1
-        stats.flits_by_class[mclass] += flits
-        stats.by_type[mtype] += 1
+        index = mtype.index
+        stats._type_counts[index] += 1
+        stats._type_flits[index] += flits
+        stats._dirty = True
         scheduler = self.scheduler
         msg.send_time = scheduler.now
         raw = self._base_latency[hops] + (flits - 1)
@@ -246,6 +321,11 @@ class Network:
     def _deliver(self, handler: MessageHandler, msg: Message) -> None:
         self._in_flight -= 1
         handler.handle_message(msg)
+        # Recycle the message unless the handler kept a reference
+        # (Message.retain) or it was hand-constructed outside the pool.
+        if msg.pooled and not msg.retained:
+            msg.data = None
+            self.pool._free.append(msg)
 
     def broadcast(
         self,
@@ -266,16 +346,17 @@ class Network:
             The number of copies sent.
         """
         count = 0
+        acquire = self.pool.acquire
         for dst in destinations:
             if exclude is not None and dst == exclude:
                 continue
-            copy = Message(
-                mtype=template.mtype,
-                src=template.src,
-                dst=dst,
-                address=template.address,
-                data=dict(template.data) if template.data is not None else None,
-                info=dict(template.info),
+            copy = acquire(
+                template.mtype,
+                template.src,
+                dst,
+                template.address,
+                dict(template.data) if template.data is not None else None,
+                dict(template.info),
             )
             self.send(copy, extra_delay=extra_delay)
             count += 1

@@ -57,10 +57,28 @@ class AddressMap:
         object.__setattr__(self, "line_mask", ~(self.line_size - 1))
         object.__setattr__(self, "offset_mask", self.line_size - 1)
         object.__setattr__(self, "offset_bits", log2_int(self.line_size))
+        # Intern table: one canonical int object per line address.  Line
+        # addresses are used as dict keys all over the memory system (cache
+        # index, pending-transaction maps, directory state); handing every
+        # consumer the same object lets CPython's dict probes take the
+        # pointer-identity fast path instead of comparing values, and avoids
+        # re-allocating a fresh int box for the same line on every miss.
+        object.__setattr__(self, "_intern", {})
 
     def line_address(self, address: int) -> int:
-        """Return the line-aligned address containing ``address``."""
-        return address & self.line_mask
+        """Return the line-aligned address containing ``address``.
+
+        The returned int is *interned*: every call for the same line returns
+        the identical object.  Callers on hot paths that only need the value
+        (not the canonical object) may use ``address & map.line_mask``
+        directly.
+        """
+        line = address & self.line_mask
+        interned = self._intern.get(line)
+        if interned is None:
+            self._intern[line] = line
+            return line
+        return interned
 
     def line_offset(self, address: int) -> int:
         """Return the byte offset of ``address`` within its cache line."""

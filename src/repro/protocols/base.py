@@ -44,7 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, ClassVar, Dict, List, Optional, Protocol
 
-from repro.interconnect.message import Message, MessageType
+from repro.interconnect.message import NUM_MESSAGE_TYPES, Message, MessageType
 from repro.interconnect.network import Network
 from repro.interconnect.topology import MeshTopology
 from repro.memsys.address import AddressMap
@@ -120,6 +120,21 @@ class PendingTransaction:
     meta: Dict[str, Any] = field(default_factory=dict)
 
 
+def compile_dispatch(controller: Any,
+                     handlers: Dict[MessageType, str]) -> List[Optional[Callable]]:
+    """Compile a ``MessageType -> method name`` table into a flat list of
+    bound methods indexed by ``MessageType.index``.
+
+    Handler names are resolved against ``controller`` at build time, so
+    subclass overrides are honoured; unhandled types stay ``None`` and fail
+    loudly in ``handle_message``.
+    """
+    table: List[Optional[Callable]] = [None] * NUM_MESSAGE_TYPES
+    for mtype, name in handlers.items():
+        table[mtype.index] = getattr(controller, name)
+    return table
+
+
 class BaseL1Controller:
     """Shared plumbing for L1 cache controllers.
 
@@ -147,10 +162,10 @@ class BaseL1Controller:
     #: State a line enters when the core writes it.
     modified_state: ClassVar[Any] = None
     #: MessageType -> handler *method name*.  Each protocol declares its
-    #: dispatch table once at class level; ``__init__`` resolves the names
-    #: to bound methods (so subclass overrides are honoured) and
-    #: ``handle_message`` becomes a single dict lookup instead of building
-    #: a literal per delivered message.
+    #: transition table once at class level; ``__init__`` compiles the names
+    #: into a flat bound-method list indexed by ``MessageType.index`` (so
+    #: subclass overrides are honoured) and ``handle_message`` becomes a
+    #: single list index instead of a dict lookup per delivered message.
     message_handlers: ClassVar[Dict[MessageType, str]] = {}
 
     def __init__(
@@ -176,17 +191,25 @@ class BaseL1Controller:
         self._pending: Dict[int, PendingTransaction] = {}
         self._evicting: Dict[int, CacheLine] = {}
         self._evict_waiters: Dict[int, List[Callable[[], None]]] = {}
-        self._dispatch = {
-            mtype: getattr(self, name)
-            for mtype, name in self.message_handlers.items()
-        }
+        self._line_mask = address_map.line_mask
+        self._pool = network.pool
+        self._dispatch = compile_dispatch(self, self.message_handlers)
+        # Prebound victim filter for install_line (one closure per controller
+        # instead of one per install).
+        self._install_victim_filter = (
+            lambda cand: cand.address not in self._pending)
+        self._build_tables()
         network.register(self.node_id, self)
+
+    def _build_tables(self) -> None:
+        """Hook for protocols that derive extra per-instance transition
+        tables (e.g. data-response → install-state) at build time."""
 
     # -- messaging ------------------------------------------------------------
 
     def handle_message(self, msg: Message) -> None:
-        """Dispatch a network message through the precomputed handler table."""
-        handler = self._dispatch.get(msg.mtype)
+        """Dispatch a network message through the compiled transition table."""
+        handler = self._dispatch[msg.mtype.index]
         if handler is None:
             raise RuntimeError(
                 f"{self.protocol_label} L1[{self.core_id}]: unexpected message {msg!r}")
@@ -209,9 +232,11 @@ class BaseL1Controller:
 
         ``delay`` adds controller occupancy (e.g. tag access latency) on top
         of the network latency before the message is delivered.
+
+        The message comes from the network's free-list and is recycled after
+        delivery; receivers that keep it must call :meth:`Message.retain`.
         """
-        msg = Message(mtype=mtype, src=self.node_id, dst=dst, address=address,
-                      data=data, info=info)
+        msg = self._pool.acquire(mtype, self.node_id, dst, address, data, info)
         self.network.send(msg, extra_delay=delay)
         return msg
 
@@ -246,10 +271,33 @@ class BaseL1Controller:
 
     def deferred_or_waiting(self, address: int, retry: Callable[[], None]) -> bool:
         """Common core-operation prologue: defer ``retry`` behind an
-        outstanding transaction or an in-flight writeback of its line."""
-        if self.defer(address, retry):
-            return True
-        return self.wait_for_writeback(address, retry)
+        outstanding transaction or an in-flight writeback of its line.
+
+        Fuses :meth:`defer` and :meth:`wait_for_writeback` into one line
+        lookup — this prologue runs once per core memory operation.
+        """
+        queue = self._defer_queue(address)
+        if queue is None:
+            return False
+        queue.append(retry)
+        return True
+
+    def _defer_queue(self, address: int) -> Optional[List[Callable[[], None]]]:
+        """Return the replay queue a core operation on ``address`` must join
+        (outstanding transaction or in-flight writeback), or ``None`` if the
+        line is free.
+
+        Issue paths use this directly so the retry closure is only allocated
+        when the operation actually defers — the common case (line free)
+        costs one dict lookup and no allocation.
+        """
+        line_addr = address & self._line_mask
+        txn = self._pending.get(line_addr)
+        if txn is not None:
+            return txn.deferred
+        if line_addr in self._evicting:
+            return self._evict_waiters.setdefault(line_addr, [])
+        return None
 
     def finish_transaction(self, line_address: int) -> None:
         """Complete the transaction on ``line_address`` and replay deferred
@@ -307,29 +355,36 @@ class BaseL1Controller:
 
     # -- completion accounting -------------------------------------------------
 
-    def _complete_load(self, callback: Callable[[int], None], value: int, start: int) -> None:
-        def finish() -> None:
-            self.stats.loads += 1
-            self.stats.load_latency_total += self.sim.now - start
-            callback(value)
+    # Completion accounting schedules the finish step as an argument event
+    # (schedule_call) rather than a fresh closure — one event either way,
+    # but no per-operation closure + cell allocations.
 
-        self.complete_with_latency(finish)
+    def _complete_load(self, callback: Callable[[int], None], value: int, start: int) -> None:
+        self.sim.schedule_call(self.hit_latency, self._finish_load,
+                               callback, value, start)
+
+    def _finish_load(self, callback: Callable[[int], None], value: int, start: int) -> None:
+        self.stats.loads += 1
+        self.stats.load_latency_total += self.sim.now - start
+        callback(value)
 
     def _complete_store(self, callback: Callable[[], None], start: int) -> None:
-        def finish() -> None:
-            self.stats.stores += 1
-            self.stats.store_latency_total += self.sim.now - start
-            callback()
+        self.sim.schedule_call(self.hit_latency, self._finish_store,
+                               callback, start)
 
-        self.complete_with_latency(finish)
+    def _finish_store(self, callback: Callable[[], None], start: int) -> None:
+        self.stats.stores += 1
+        self.stats.store_latency_total += self.sim.now - start
+        callback()
 
     def _complete_rmw(self, callback: Callable[[int], None], old: int, start: int) -> None:
-        def finish() -> None:
-            self.stats.rmws += 1
-            self.stats.rmw_latency_total += self.sim.now - start
-            callback(old)
+        self.sim.schedule_call(self.hit_latency, self._finish_rmw,
+                               callback, old, start)
 
-        self.complete_with_latency(finish)
+    def _finish_rmw(self, callback: Callable[[int], None], old: int, start: int) -> None:
+        self.stats.rmws += 1
+        self.stats.rmw_latency_total += self.sim.now - start
+        callback(old)
 
     # -- transaction retirement --------------------------------------------------
 
@@ -380,9 +435,8 @@ class BaseL1Controller:
             return existing
         line = CacheLine(address=line_address, state=state)
         line.merge_data(data)
-        victim = self.cache.insert(
-            line, victim_filter=lambda cand: cand.address not in self._pending
-        )
+        victim = self.cache.insert(line,
+                                   victim_filter=self._install_victim_filter)
         if victim is not None:
             self._evict(victim)
         return line
@@ -491,10 +545,16 @@ class BaseL2Controller:
         self._blocked: Dict[int, List[Message]] = {}
         # line address -> in-progress recall/eviction bookkeeping
         self._recalls: Dict[int, Dict] = {}
-        self._dispatch = {
-            mtype: getattr(self, name)
-            for mtype, name in self.message_handlers.items()
-        }
+        self._pool = network.pool
+        self._dispatch = compile_dispatch(self, self.message_handlers)
+        # blocking_types compiled to a flat bool table (MessageType.index).
+        self._blocking = tuple(mtype in self.blocking_types
+                               for mtype in MessageType)
+        # Prebound eviction filter for allocate_line (one closure per tile
+        # instead of one per allocation).
+        self._can_evict = lambda cand: (
+            not self.is_blocked(cand.address)
+            and cand.address not in self._recalls)
         network.register(self.node_id, self)
 
     # -- messaging ------------------------------------------------------------
@@ -512,9 +572,11 @@ class BaseL2Controller:
 
         ``delay`` adds tile occupancy (e.g. the tag/data access latency) on
         top of the network latency before the message is delivered.
+
+        The message comes from the network's free-list and is recycled after
+        delivery; receivers that keep it must call :meth:`Message.retain`.
         """
-        msg = Message(mtype=mtype, src=self.node_id, dst=dst, address=address,
-                      data=data, info=info)
+        msg = self._pool.acquire(mtype, self.node_id, dst, address, data, info)
         self.network.send(msg, extra_delay=delay)
         return msg
 
@@ -546,6 +608,8 @@ class BaseL2Controller:
         queue = self._blocked.get(line_addr)
         if queue is None:
             return False
+        # The message outlives its delivery callback; keep it out of the pool.
+        msg.retained = True
         queue.append(msg)
         return True
 
@@ -557,7 +621,7 @@ class BaseL2Controller:
         if not queue:
             return
         for queued in queue:
-            self.sim.schedule(0, lambda m=queued: self.handle_message(m))
+            self.sim.schedule_call(0, self.handle_message, queued)
 
     # -- allocation -----------------------------------------------------------------
 
@@ -569,8 +633,7 @@ class BaseL2Controller:
         mid-transaction or mid-recall), in which case the caller retries
         shortly.
         """
-        can_evict = lambda cand: (not self.is_blocked(cand.address)  # noqa: E731
-                                  and cand.address not in self._recalls)
+        can_evict = self._can_evict
         if self.cache.needs_eviction(line_addr) and self.cache.pick_victim(
                 line_addr, victim_filter=can_evict) is None:
             return None
@@ -672,11 +735,12 @@ class BaseL2Controller:
         self.stats.memory_reads += 1
         latency = self.memory.access_latency()
         line_addr = self.address_map.line_address(address)
+        self.sim.schedule_call(latency, self._memory_fetch_done,
+                               line_addr, callback)
 
-        def complete() -> None:
-            callback(self.memory.read_line(line_addr))
-
-        self.sim.schedule(latency, complete)
+    def _memory_fetch_done(self, line_addr: int,
+                           callback: Callable[[Dict[int, int]], None]) -> None:
+        callback(self.memory.read_line(line_addr))
 
     def writeback_to_memory(self, address: int, data: Dict[int, int]) -> None:
         """Write the line of ``address`` back to main memory (fire and
@@ -699,10 +763,11 @@ class BaseL2Controller:
         still in flight would acknowledge the writeback early and let the
         owner drop the line before serving the forward.
         """
-        if self._blocked and msg.mtype in self.blocking_types \
+        index = msg.mtype.index
+        if self._blocked and self._blocking[index] \
                 and self.defer_if_blocked(msg):
             return
-        handler = self._dispatch.get(msg.mtype)
+        handler = self._dispatch[index]
         if handler is None:
             raise RuntimeError(
                 f"{self.protocol_label} L2[{self.tile_id}]: unexpected message {msg!r}")

@@ -182,6 +182,7 @@ class BroadcastL2Controller(BaseL2Controller):
         line_addr = self.address_map.line_address(request.address)
         placed = self.allocate_line(line_addr)
         if placed is None:
+            request.retain()  # the retry closure outlives this delivery
             self.after(self.access_latency, lambda: self.handle_message(request))
             return
         placed.state = BroadcastL2State.VALID

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.interconnect.message import Message, MessageType
+from repro.interconnect.message import NUM_MESSAGE_TYPES, Message, MessageType
 from repro.memsys.cacheline import CacheLine
 from repro.protocols.base import BaseL1Controller, PendingTransaction
 from repro.protocols.mesi.states import MESIL1State
@@ -43,11 +43,27 @@ class MESIL1Controller(BaseL1Controller):
         MessageType.PUT_ACK: "_on_put_ack",
     }
 
+    def _build_tables(self) -> None:
+        """Compile the data-response → install-state transition table.
+
+        Built from the instance's state attributes so derived protocols
+        (MSI, MOESI) get their own states without re-deriving the table.
+        ``DATA_OWNER`` stays ``None``: its install state depends on the
+        pending transaction's kind.
+        """
+        table = [None] * NUM_MESSAGE_TYPES
+        table[MessageType.DATA_E.index] = self.exclusive_state
+        table[MessageType.DATA_S.index] = self.shared_state
+        table[MessageType.DATA_X.index] = self.modified_state
+        self._data_state = table
+
     # ------------------------------------------------------------------ core ops
 
     def issue_load(self, address: int, callback: Callable[[int], None]) -> None:
         """Perform a word load (see :class:`L1ControllerInterface`)."""
-        if self.deferred_or_waiting(address, lambda: self.issue_load(address, callback)):
+        queue = self._defer_queue(address)
+        if queue is not None:
+            queue.append(lambda: self.issue_load(address, callback))
             return
         start = self.sim.now
         line = self.cache.get_line(address)
@@ -71,7 +87,9 @@ class MESIL1Controller(BaseL1Controller):
 
     def issue_store(self, address: int, value: int, callback: Callable[[], None]) -> None:
         """Perform a word store (called by the core's write-buffer drain)."""
-        if self.deferred_or_waiting(address, lambda: self.issue_store(address, value, callback)):
+        queue = self._defer_queue(address)
+        if queue is not None:
+            queue.append(lambda: self.issue_store(address, value, callback))
             return
         start = self.sim.now
         line = self.cache.get_line(address)
@@ -100,7 +118,9 @@ class MESIL1Controller(BaseL1Controller):
         self, address: int, modify: Callable[[int], int], callback: Callable[[int], None]
     ) -> None:
         """Perform an atomic read-modify-write."""
-        if self.deferred_or_waiting(address, lambda: self.issue_rmw(address, modify, callback)):
+        queue = self._defer_queue(address)
+        if queue is not None:
+            queue.append(lambda: self.issue_rmw(address, modify, callback))
             return
         start = self.sim.now
         line = self.cache.get_line(address)
@@ -142,14 +162,8 @@ class MESIL1Controller(BaseL1Controller):
         assert msg.address is not None
         txn = self.response_txn(msg)
         self.stats.data_responses += 1
-        mtype = msg.mtype
-        if mtype is MessageType.DATA_E:
-            state = self.exclusive_state
-        elif mtype is MessageType.DATA_S:
-            state = self.shared_state
-        elif mtype is MessageType.DATA_X:
-            state = self.modified_state
-        else:  # DATA_OWNER
+        state = self._data_state[msg.mtype.index]
+        if state is None:  # DATA_OWNER
             # Data forwarded by the previous owner: shared for loads,
             # modified for stores/RMWs.
             state = self.shared_state if txn.kind == "load" else self.modified_state
@@ -197,6 +211,7 @@ class MESIL1Controller(BaseL1Controller):
         txn = self._pending.get(msg.address)
         if txn is None:
             return False
+        msg.retain()  # the replay closure outlives this delivery
         txn.deferred.append(lambda: self.handle_message(msg))
         return True
 

@@ -265,15 +265,19 @@ class MESIL2Controller(BaseL2Controller):
         placed = self.allocate_line(line_addr)
         if placed is None:
             # Could not allocate (every way is mid-recall); retry shortly.
+            request.retain()  # the retry closure outlives this delivery
             self.after(self.access_latency, lambda: self.handle_message(request))
             return
         self.block(line_addr)
         requester = request.info["requester"]
+        # Capture what the continuation needs as locals, not the request
+        # itself (pooled messages must not outlive their delivery).
+        is_gets = request.mtype is MessageType.GETS
 
         def on_data(data: Dict[int, int]) -> None:
             placed.merge_data(data)
             placed.dirty = False
-            if request.mtype is MessageType.GETS:
+            if is_gets:
                 self.grant_read(placed, requester)
             else:
                 self.grant_write(placed, requester)

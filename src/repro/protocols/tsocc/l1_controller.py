@@ -90,7 +90,9 @@ class TSOCCL1Controller(BaseL1Controller):
 
     def issue_load(self, address: int, callback: Callable[[int], None]) -> None:
         """Perform a word load (bounded Shared hits, see module docstring)."""
-        if self.deferred_or_waiting(address, lambda: self.issue_load(address, callback)):
+        queue = self._defer_queue(address)
+        if queue is not None:
+            queue.append(lambda: self.issue_load(address, callback))
             return
         start = self.sim.now
         line = self.cache.get_line(address)
@@ -123,7 +125,9 @@ class TSOCCL1Controller(BaseL1Controller):
 
     def issue_store(self, address: int, value: int, callback: Callable[[], None]) -> None:
         """Perform a word store (called from the core's write-buffer drain)."""
-        if self.deferred_or_waiting(address, lambda: self.issue_store(address, value, callback)):
+        queue = self._defer_queue(address)
+        if queue is not None:
+            queue.append(lambda: self.issue_store(address, value, callback))
             return
         start = self.sim.now
         line = self.cache.get_line(address)
@@ -152,7 +156,9 @@ class TSOCCL1Controller(BaseL1Controller):
         self, address: int, modify: Callable[[int], int], callback: Callable[[int], None]
     ) -> None:
         """Perform an atomic read-modify-write (issues GetX like a write)."""
-        if self.deferred_or_waiting(address, lambda: self.issue_rmw(address, modify, callback)):
+        queue = self._defer_queue(address)
+        if queue is not None:
+            queue.append(lambda: self.issue_rmw(address, modify, callback))
             return
         start = self.sim.now
         line = self.cache.get_line(address)
@@ -371,6 +377,7 @@ class TSOCCL1Controller(BaseL1Controller):
             return evicting
         txn = self._pending.get(msg.address)
         if txn is not None:
+            msg.retain()  # the replay closure outlives this delivery
             txn.deferred.append(lambda: self.handle_message(msg))
             return None
         if line is not None:

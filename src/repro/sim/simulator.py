@@ -1,4 +1,4 @@
-"""Discrete-event simulation engine.
+"""Discrete-event simulation engine with a calendar (bucket-ring) queue.
 
 The whole CMP model is driven by one :class:`Simulator`: cores, cache
 controllers, the network and the memory model all schedule plain callables at
@@ -10,15 +10,46 @@ communicate by calling each other and scheduling continuations — which keeps
 the per-event overhead small enough to simulate tens of millions of events in
 pure Python.
 
-Hot-path notes (measured with cProfile on the ci-smoke sweep; see
-``repro bench``):
+Event-queue design (measured with ``repro bench --profile``; see DESIGN.md
+"Engine internals"):
 
-* :meth:`Simulator.run` inlines the pop-and-execute loop instead of calling
-  :meth:`step` per event, and hoists the queue and ``heappop`` into locals.
+Nearly every delay in the model is a small bounded integer — cache hit
+latencies, router/link traversals, tag access, the memory latency range — so
+a global binary heap pays ``O(log n)`` tuple comparisons per event for an
+ordering that is almost always "a handful of cycles from now".  The queue is
+therefore a *calendar queue*:
+
+* a power-of-two ring of per-cycle FIFO buckets (``ring_size`` cycles wide,
+  sized by the builder from the largest latency in the configuration);
+  scheduling within the ring is one list append, and :meth:`run` drains one
+  bucket at a time with no per-event heap rebalancing or timestamp
+  comparisons,
+* a *spill heap* for the rare events scheduled ``>= ring_size`` cycles out
+  (long ``Work`` periods, pathological latencies); spilled events migrate
+  into the ring as the clock approaches them.
+
+Two invariants make the calendar queue observably identical to the old heap:
+
+* **Same-cycle FIFO.**  A bucket holds exactly one cycle's events in
+  scheduling order, and events appended to the *current* bucket by running
+  callbacks are picked up by the same drain — so an event scheduled with
+  delay 0 runs this cycle, after everything already queued, exactly like the
+  ``(time, seq)`` heap ordering did.
+* **Spill-before-ring.**  An event can only be scheduled into the ring for
+  cycle ``T`` once ``now > T - ring_size``, while every spilled event for
+  ``T`` was scheduled when ``now <= T - ring_size`` — strictly earlier.
+  Migrating the spill heap before each cycle's drain therefore always places
+  spilled events ahead of any ring append for the same cycle, preserving
+  global FIFO order.
+
+Hot-path notes:
+
+* :meth:`Simulator.run` drains whole buckets inline; the per-event work is
+  one tuple unpack, one stop-flag load and the callback call.
 * Completion is signalled through :meth:`Simulator.request_stop` (a plain
   attribute check per event) rather than re-evaluating an ``until()``
-  closure on every event; the ``until`` parameter remains supported for
-  callers that genuinely need a per-event predicate.
+  closure on every event; ``until`` and ``max_events`` remain supported via
+  a per-event slow path.
 * :meth:`Simulator.schedule_call` schedules a callable *with arguments*
   without forcing the caller to allocate a closure per event (the network's
   delivery path uses this: one bound method + argument tuple per message).
@@ -33,6 +64,23 @@ from typing import Callable, List, Optional, Tuple
 #: Empty argument tuple shared by all argument-less events.
 _NO_ARGS: tuple = ()
 
+#: Default ring width in cycles.  Covers every latency of the default system
+#: configurations (memory: 120-230 cycles) with headroom; the builder passes
+#: an exact width computed from its config (see ``suggest_ring_size``).
+DEFAULT_RING_SIZE = 512
+
+
+def suggest_ring_size(max_latency: int) -> int:
+    """Return a power-of-two ring width covering ``max_latency``-cycle delays.
+
+    The ring must be strictly wider than the largest common delay (events at
+    ``delay >= ring_size`` spill to the heap, which is correct but slower).
+    """
+    size = 64
+    while size <= max_latency:
+        size <<= 1
+    return size
+
 
 class DeadlockError(RuntimeError):
     """Raised when the event queue drains while some core has not finished.
@@ -46,6 +94,11 @@ class DeadlockError(RuntimeError):
 class Simulator:
     """A minimal but fast discrete-event scheduler.
 
+    Args:
+        ring_size: width of the calendar ring in cycles (power of two).
+            Delays shorter than this are a list append; longer ones go to
+            the spill heap.
+
     Attributes:
         now: current simulation time (cycles).
         events_executed: total number of events processed so far.
@@ -53,14 +106,26 @@ class Simulator:
             before executing the next event once this is ``True``.
     """
 
-    __slots__ = ("now", "events_executed", "stop_requested", "_queue", "_seq")
+    __slots__ = ("now", "events_executed", "stop_requested",
+                 "_buckets", "_mask", "_ring_size", "_ring_count",
+                 "_spill", "_seq")
 
-    def __init__(self) -> None:
+    def __init__(self, ring_size: int = DEFAULT_RING_SIZE) -> None:
+        if ring_size <= 0 or ring_size & (ring_size - 1):
+            raise ValueError(
+                f"ring_size must be a positive power of two, got {ring_size}")
         self.now: int = 0
         self.events_executed: int = 0
         self.stop_requested: bool = False
-        self._queue: List[Tuple[int, int, Callable[..., None], tuple]] = []
+        self._ring_size = ring_size
+        self._mask = ring_size - 1
+        self._buckets: List[List[tuple]] = [[] for _ in range(ring_size)]
+        self._ring_count = 0
+        # (time, seq, callback, args) for events >= ring_size cycles out.
+        self._spill: List[Tuple[int, int, Callable[..., None], tuple]] = []
         self._seq = itertools.count()
+
+    # -- scheduling ----------------------------------------------------------
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to run ``delay`` cycles from now.
@@ -69,10 +134,15 @@ class Simulator:
             delay: non-negative number of cycles in the future.
             callback: zero-argument callable executed at that time.
         """
-        if delay < 0:
+        if 0 <= delay < self._ring_size:
+            self._buckets[(self.now + delay) & self._mask].append(
+                (callback, _NO_ARGS))
+            self._ring_count += 1
+        elif delay < 0:
             raise ValueError(f"cannot schedule an event in the past (delay={delay})")
-        heapq.heappush(self._queue,
-                       (self.now + delay, next(self._seq), callback, _NO_ARGS))
+        else:
+            heapq.heappush(self._spill,
+                           (self.now + delay, next(self._seq), callback, _NO_ARGS))
 
     def schedule_call(self, delay: int, callback: Callable[..., None],
                       *args) -> None:
@@ -82,16 +152,27 @@ class Simulator:
         the per-event closure allocation — used on the network delivery
         path, where one closure per message adds up to millions of objects.
         """
-        if delay < 0:
+        if 0 <= delay < self._ring_size:
+            self._buckets[(self.now + delay) & self._mask].append(
+                (callback, args))
+            self._ring_count += 1
+        elif delay < 0:
             raise ValueError(f"cannot schedule an event in the past (delay={delay})")
-        heapq.heappush(self._queue,
-                       (self.now + delay, next(self._seq), callback, args))
+        else:
+            heapq.heappush(self._spill,
+                           (self.now + delay, next(self._seq), callback, args))
 
     def schedule_at(self, time: int, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` at absolute ``time`` (must be >= now)."""
-        if time < self.now:
+        delta = time - self.now
+        if delta < 0:
             raise ValueError(f"cannot schedule at {time} (now={self.now})")
-        heapq.heappush(self._queue, (time, next(self._seq), callback, _NO_ARGS))
+        if delta < self._ring_size:
+            self._buckets[time & self._mask].append((callback, _NO_ARGS))
+            self._ring_count += 1
+        else:
+            heapq.heappush(self._spill,
+                           (time, next(self._seq), callback, _NO_ARGS))
 
     def request_stop(self) -> None:
         """Ask :meth:`run` to return before executing the next event.
@@ -104,14 +185,54 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the queue."""
-        return len(self._queue)
+        """Number of events still in the queue (ring + spill heap)."""
+        return self._ring_count + len(self._spill)
+
+    # -- queue internals -----------------------------------------------------
+
+    def _peek_next(self) -> Tuple[int, List[tuple]]:
+        """Return ``(time, bucket)`` of the earliest pending event.
+
+        Migrates spilled events that have come within one ring width of that
+        time into their buckets first, so same-cycle FIFO order holds across
+        the ring/spill boundary (spilled events were always scheduled
+        earlier than any ring event for the same cycle — see the module
+        docstring).  The queue must be non-empty.
+        """
+        buckets = self._buckets
+        mask = self._mask
+        spill = self._spill
+        if self._ring_count:
+            # All ring events live in [now, now + ring_size), so scanning
+            # forward cycle by cycle terminates within one ring width.
+            time = self.now
+            bucket = buckets[time & mask]
+            while not bucket:
+                time += 1
+                bucket = buckets[time & mask]
+        else:
+            time = spill[0][0]
+        if spill:
+            horizon = time + self._ring_size
+            count = 0
+            pop = heapq.heappop
+            while spill and spill[0][0] < horizon:
+                stime, _seq, callback, args = pop(spill)
+                buckets[stime & mask].append((callback, args))
+                count += 1
+            self._ring_count += count
+            bucket = buckets[time & mask]
+        return time, bucket
+
+    # -- execution -----------------------------------------------------------
 
     def step(self) -> bool:
         """Execute the next event; return ``False`` if the queue was empty."""
-        if not self._queue:
+        if not self._ring_count and not self._spill:
             return False
-        time, _seq, callback, args = heapq.heappop(self._queue)
+        time, bucket = self._peek_next()
+        callback, args = bucket.pop(0)
+        self._ring_count -= 1
         self.now = time
         self.events_executed += 1
         callback(*args)
@@ -132,10 +253,9 @@ class Simulator:
                 re-evaluated per event on the hottest loop in the simulator.
             max_cycles: optional hard bound on simulated time.  The *next
                 event's own timestamp* is checked **before** its callback
-                runs, so an event scheduled past the bound never executes
-                (it used to run once, with arbitrary side effects, before
-                the watchdog fired).  Exceeding the bound raises
-                :class:`RuntimeError` naming the offending event time.
+                runs, so an event scheduled past the bound never executes.
+                Exceeding the bound raises :class:`RuntimeError` naming the
+                offending event time.
             max_events: optional hard bound on executed events; the run may
                 execute exactly ``max_events`` events and raises
                 :class:`RuntimeError` when more remain.
@@ -144,26 +264,68 @@ class Simulator:
         :meth:`request_stop` was called (the flag is left set; callers that
         reuse the engine afterwards should clear ``stop_requested``).
         """
-        queue = self._queue
-        pop = heapq.heappop
-        check_until = until is not None
-        while queue:
+        if until is not None or max_events is not None:
+            self._run_checked(until, max_cycles, max_events)
+            return
+        spill = self._spill
+        while self._ring_count or spill:
             if self.stop_requested:
                 return
-            if check_until and until():
-                return
-            if max_cycles is not None and queue[0][0] > max_cycles:
+            time, bucket = self._peek_next()
+            if max_cycles is not None and time > max_cycles:
                 raise RuntimeError(
                     f"simulation exceeded max_cycles={max_cycles}: next event "
-                    f"is scheduled at cycle {queue[0][0]} "
+                    f"is scheduled at cycle {time} "
+                    f"(events executed: {self.events_executed}, now={self.now})"
+                )
+            self.now = time
+            # Drain the whole bucket inline.  Callbacks may append events for
+            # the *current* cycle; the for loop picks them up in FIFO order.
+            executed = 0
+            try:
+                for callback, args in bucket:
+                    if self.stop_requested:
+                        break
+                    executed += 1
+                    callback(*args)
+            finally:
+                # Keep the unexecuted tail (early stop / callback exception);
+                # a fully drained bucket is just cleared for reuse.
+                if executed == len(bucket):
+                    bucket.clear()
+                else:
+                    del bucket[:executed]
+                self._ring_count -= executed
+                self.events_executed += executed
+
+    def _run_checked(
+        self,
+        until: Optional[Callable[[], bool]],
+        max_cycles: Optional[int],
+        max_events: Optional[int],
+    ) -> None:
+        """Per-event loop honouring ``until``/``max_events`` exactly as the
+        pre-calendar engine did (checks in the same order, before every
+        event).  Off the hot path: ``System.run`` uses the bucket drain."""
+        while self._ring_count or self._spill:
+            if self.stop_requested:
+                return
+            if until is not None and until():
+                return
+            time, bucket = self._peek_next()
+            if max_cycles is not None and time > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded max_cycles={max_cycles}: next event "
+                    f"is scheduled at cycle {time} "
                     f"(events executed: {self.events_executed}, now={self.now})"
                 )
             if max_events is not None and self.events_executed >= max_events:
                 raise RuntimeError(
                     f"simulation reached max_events={max_events} at cycle "
-                    f"{self.now} with {len(queue)} events still pending"
+                    f"{self.now} with {self.pending_events} events still pending"
                 )
-            time, _seq, callback, args = pop(queue)
+            callback, args = bucket.pop(0)
+            self._ring_count -= 1
             self.now = time
             self.events_executed += 1
             callback(*args)

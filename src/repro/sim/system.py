@@ -23,7 +23,7 @@ from repro.memsys.cache import CacheArray
 from repro.memsys.memory import MainMemory
 from repro.memsys.write_buffer import WriteBuffer
 from repro.sim.config import SystemConfig
-from repro.sim.simulator import DeadlockError, Simulator
+from repro.sim.simulator import DeadlockError, Simulator, suggest_ring_size
 from repro.sim.stats import CoreStats, L1Stats, L2Stats, SystemStats
 
 # Controllers are built purely through the protocol plugin API
@@ -64,12 +64,24 @@ class System:
     def __init__(self, config: SystemConfig, protocol: "Protocol") -> None:
         self.config = config
         self.protocol = protocol
-        self.sim = Simulator()
         self.address_map = AddressMap(line_size=config.line_size,
                                       num_l2_tiles=config.effective_l2_tiles)
         self.topology = MeshTopology(num_cores=config.num_cores,
                                      num_l2_tiles=config.effective_l2_tiles,
                                      rows=config.mesh_rows)
+        # Size the calendar ring to cover the largest single-event delay the
+        # configuration can produce (worst-case network traversal plus tile
+        # occupancy, or a memory access); anything longer spills to the heap.
+        max_hops = max((max(row) for row in self.topology.hops_table),
+                       default=0)
+        data_flits = max(1, -(-(config.header_bytes + config.line_size)
+                              // config.flit_bytes))
+        net_max = (config.router_latency * (max_hops + 1)
+                   + config.link_latency * max_hops + data_flits - 1)
+        max_delay = max(config.memory_latency_max,
+                        net_max + config.l2_access_latency,
+                        config.l1_hit_latency)
+        self.sim = Simulator(ring_size=suggest_ring_size(max_delay))
         self.network = Network(
             topology=self.topology,
             scheduler=self.sim,

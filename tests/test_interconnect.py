@@ -175,3 +175,91 @@ def test_larger_messages_take_longer():
     control = net.latency(src, dst, flits=1)
     data = net.latency(src, dst, flits=5)
     assert data == control + 4
+
+
+# ------------------------------------------------------------------ message pool
+
+def test_pooled_message_recycled_after_delivery():
+    sim, topo, net, sinks = make_network()
+    msg = net.pool.acquire(MessageType.GETS, 0, 1, address=0x40)
+    assert msg.pooled and not msg.retained
+    net.send(msg)
+    sim.run()
+    assert sinks[1].received == [msg]
+    # The handler returned without retaining, so the pool owns it again:
+    # the next acquire hands back the identical object, fully reset.
+    reused = net.pool.acquire(MessageType.DATA_S, 2, 3, address=0x80,
+                              data={0: 7})
+    assert reused is msg
+    assert reused.mtype is MessageType.DATA_S
+    assert (reused.src, reused.dst, reused.address) == (2, 3, 0x80)
+    assert reused.data == {0: 7}
+    assert reused.info == {}
+    assert not reused.retained
+
+
+def test_retained_message_survives_delivery():
+    sim, topo, net, sinks = make_network()
+    msg = net.pool.acquire(MessageType.GETS, 0, 1, address=0x40,
+                           info={"requester": 0})
+    msg.retain()
+    net.send(msg)
+    sim.run()
+    # Retained messages are never recycled: a later acquire must not alias.
+    other = net.pool.acquire(MessageType.GETS, 0, 1, address=0x80)
+    assert other is not msg
+    assert msg.info == {"requester": 0}
+
+
+def test_directly_constructed_message_never_pooled():
+    sim, topo, net, sinks = make_network()
+    msg = Message(mtype=MessageType.GETS, src=0, dst=1, address=0x40)
+    net.send(msg)
+    sim.run()
+    assert not msg.pooled
+    assert net.pool.acquire(MessageType.GETS, 0, 1) is not msg
+
+
+def test_pool_acquire_gives_fresh_uids():
+    sim, topo, net, _ = make_network()
+    a = net.pool.acquire(MessageType.GETS, 0, 1, address=0x40)
+    net.pool.release(a)
+    b = net.pool.acquire(MessageType.GETS, 0, 1, address=0x40)
+    assert a is b
+    # Same object, but logically a new message.
+    assert isinstance(b.uid, int)
+
+
+# ---------------------------------------------------------------- stats folding
+
+def test_network_stats_fold_matches_flat_counters():
+    sim, topo, net, _ = make_network()
+    net.send(Message(mtype=MessageType.GETS, src=0, dst=1, address=0x40))
+    net.send(Message(mtype=MessageType.GETS, src=2, dst=1, address=0x80))
+    net.send(Message(mtype=MessageType.DATA_S, src=1, dst=0, address=0x40,
+                     data={0: 1}))
+    sim.run()
+    stats = net.stats
+    assert stats.by_type[MessageType.GETS] == 2
+    assert stats.by_type[MessageType.DATA_S] == 1
+    assert stats.by_class[MessageClass.REQUEST] == 2
+    assert stats.by_class[MessageClass.RESPONSE] == 1
+    assert stats.flits_by_class[MessageClass.REQUEST] == 2
+    assert stats.flits_by_class[MessageClass.RESPONSE] == 5
+    # Folding is idempotent: reading twice must not double-count.
+    assert stats.by_type[MessageType.GETS] == 2
+    d = stats.as_dict()
+    assert d["messages"] == 3 and d["flits"] == 7
+
+
+def test_network_stats_equality_after_fold():
+    sim1, _, net1, _ = make_network()
+    sim2, _, net2, _ = make_network()
+    for net, sim in ((net1, sim1), (net2, sim2)):
+        net.send(Message(mtype=MessageType.GETS, src=0, dst=1, address=0x40))
+        sim.run()
+    net1.stats.by_type  # fold one side only; equality must still hold
+    assert net1.stats == net2.stats
+    net2.send(Message(mtype=MessageType.GETS, src=0, dst=1, address=0x80))
+    sim2.run()
+    assert net1.stats != net2.stats
