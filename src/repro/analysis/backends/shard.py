@@ -277,6 +277,10 @@ def merge_results(sources: Iterable[Union[str, Path]], dest) -> MergeReport:
                     f"after merging {report.merged} entries")
             settled.add(key)
             report.merged += 1
+    # Merged entries went through dest.put, so the destination's advisory
+    # metadata index already has their records buffered; persist them so
+    # `repro cache stats`/`gc` see the merge without a rebuild.
+    dest.flush_index()
     return report
 
 

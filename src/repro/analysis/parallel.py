@@ -256,19 +256,49 @@ class ResultCache:
 
     Entries live at ``<root>/<key[:2]>/<key>.json`` where ``key`` is the
     SHA-256 of the canonical JSON of every input that determines the result.
-    Corrupt or stale-schema entries are treated as misses and removed.
+    Corrupt or stale-schema entries are treated as misses and removed —
+    *conditionally*: removal re-stats the path first, so a concurrent
+    writer's freshly renamed (valid) entry is never deleted by a reader
+    that read the pre-replacement bytes.
+
+    Alongside the tree, an advisory metadata index
+    (:class:`~repro.analysis.cache_index.CacheIndex`) is maintained
+    incrementally: ``put`` records kind/schema/size/created, ``get``
+    records last-hit timestamps (the LRU signal for ``repro cache gc``).
+    Index updates are buffered and flushed with the same per-pid
+    tmp+rename discipline as entries; the index is never consulted on the
+    lookup path — the tree stays truth.
 
     Args:
         root: cache directory (created lazily on first write).
         enabled: when ``False`` every lookup misses and nothing is written —
             the ``--no-cache`` behaviour without conditional call sites.
+        track: maintain the metadata index on put/get (default).  Disable
+            for throwaway caches that will never be listed, served or GC'd.
     """
 
-    def __init__(self, root: Path = DEFAULT_CACHE_DIR, enabled: bool = True) -> None:
+    def __init__(self, root: Path = DEFAULT_CACHE_DIR, enabled: bool = True,
+                 track: bool = True) -> None:
         self.root = Path(root)
         self.enabled = enabled
+        self.track = track
         self.hits = 0
         self.misses = 0
+        self._index = None
+
+    @property
+    def index(self):
+        """The advisory :class:`~repro.analysis.cache_index.CacheIndex`
+        over this root (created lazily)."""
+        if self._index is None:
+            from repro.analysis.cache_index import CacheIndex
+            self._index = CacheIndex(self.root)
+        return self._index
+
+    def flush_index(self) -> None:
+        """Flush buffered index deltas (no-op for untracked caches)."""
+        if self.track and self._index is not None:
+            self._index.flush()
 
     def key(self, config: SystemConfig, protocol: str, workload_name: str,
             scale: float, max_cycles: int,
@@ -287,26 +317,66 @@ class ResultCache:
         """Return the cached payload for ``key``, or ``None``.  ``schema``
         is the expected payload schema version (the cell kind's; defaults
         to the stats schema)."""
+        return self._read(key, schema=schema)
+
+    def get_any(self, key: str) -> Optional[Dict[str, object]]:
+        """Kind-agnostic lookup: validate the payload against its *own*
+        declared kind (:func:`payload_is_current`) instead of a
+        caller-supplied schema.  This is the ``repro serve`` by-key path,
+        where the key alone does not say which kind produced the entry."""
+        return self._read(key, schema=None)
+
+    def _read(self, key: str, schema: Optional[int]) -> Optional[Dict[str, object]]:
         if not self.enabled:
             return None
         path = self.path(key)
+        read_stat = None
         try:
             with path.open("r", encoding="utf-8") as handle:
+                # Identity of the bytes being judged; if the verdict is
+                # "corrupt", only this exact file may be removed.
+                read_stat = os.fstat(handle.fileno())
                 payload = json.load(handle)
-            if payload.get("schema") != schema:
+            if schema is None:
+                if not payload_is_current(payload):
+                    raise ValueError("stale or unknown payload kind")
+            elif not isinstance(payload, dict) or payload.get("schema") != schema:
                 raise ValueError("stale payload schema")
         except FileNotFoundError:
             self.misses += 1
             return None
         except (ValueError, OSError):
-            try:
-                path.unlink(missing_ok=True)
-            except OSError:
-                pass
+            self._discard_corrupt(path, read_stat)
             self.misses += 1
             return None
         self.hits += 1
+        if self.track:
+            self.index.record_hit(key)
         return payload
+
+    def _discard_corrupt(self, path: Path, read_stat) -> None:
+        """Remove a corrupt/stale entry — but only while it is still the
+        same file whose bytes were judged corrupt.  A concurrent writer's
+        ``put`` may have atomically renamed a fresh, valid entry into
+        place after our read; re-stat the path and leave it alone if its
+        identity (inode, mtime, size) changed.  ``read_stat`` of ``None``
+        means the open itself failed: nothing was read, nothing is
+        condemned."""
+        if read_stat is None:
+            return
+        try:
+            current = os.stat(path)
+        except OSError:
+            return
+        if ((current.st_ino, current.st_dev, current.st_mtime_ns,
+             current.st_size)
+                != (read_stat.st_ino, read_stat.st_dev,
+                    read_stat.st_mtime_ns, read_stat.st_size)):
+            return
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def put(self, key: str, payload: Dict[str, object]) -> None:
         """Persist one stats payload (atomic rename).
@@ -323,8 +393,12 @@ class ResultCache:
             # Per-process tmp name so concurrent writers of the same key
             # cannot interleave; the final rename is atomic either way.
             tmp = path.with_suffix(f".{os.getpid()}.tmp")
-            tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+            blob = json.dumps(payload, sort_keys=True)
+            tmp.write_text(blob, encoding="utf-8")
             tmp.replace(path)
+            if self.track:
+                self.index.record_put(key, payload,
+                                      len(blob.encode("utf-8")))
         except OSError as exc:
             # Don't leave the per-pid tmp behind (e.g. when the final rename
             # failed) — stale tmps would accumulate in shared cache roots.
@@ -442,13 +516,21 @@ class MatrixExecutor:
                 pending.append((protocol, workload_name, key))
 
         if not pending:
+            if self.cache is not None:
+                self.cache.flush_index()
             return results
 
-        for (protocol, workload_name, key), payload in \
-                self.backend.run(self, pending):
-            self.simulations_run += 1
-            self._store(key, payload)
-            results[(protocol, workload_name)] = self.kind.decode(payload)
+        try:
+            for (protocol, workload_name, key), payload in \
+                    self.backend.run(self, pending):
+                self.simulations_run += 1
+                self._store(key, payload)
+                results[(protocol, workload_name)] = self.kind.decode(payload)
+        finally:
+            # Index records buffered by put/get must survive a failing cell
+            # (the valid siblings were cached; their metadata should be too).
+            if self.cache is not None:
+                self.cache.flush_index()
         return results
 
     def run_matrix(

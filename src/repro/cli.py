@@ -19,6 +19,11 @@ Exposes the most common operations without writing Python::
     python -m repro fuzz replay fuzz-smoke --seed 17 --protocol MESI
     python -m repro fuzz shrink fuzz-smoke --seed 17 --protocol MESI
     python -m repro fuzz merge fuzz-smoke --from dir0 --from dir1
+    python -m repro cache stats                      # indexed result-cache totals
+    python -m repro cache ls --kind fuzz --limit 20
+    python -m repro cache verify                     # index vs tree (exit 1 on drift)
+    python -m repro cache gc --max-bytes 256M --max-age 7d
+    python -m repro serve --port 8080 --queue simulate
 
 Every sub-command prints a plain-text table (the same renderers the
 benchmark harness uses) and exits non-zero if a correctness check fails
@@ -39,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -46,6 +52,7 @@ from repro.analysis.backends import (ShardBackend, list_backend_names,
                                      make_backend, merge_results,
                                      missing_cells, plan_sweep,
                                      resolve_backend, resolve_shard)
+from repro.analysis.cache_index import CacheIndex, collect_garbage
 from repro.analysis.experiments import ExperimentRunner
 from repro.analysis.parallel import (DEFAULT_CACHE_DIR, ResultCache,
                                      WorkloadValidationError,
@@ -693,6 +700,179 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return exit_code
 
 
+# ------------------------------------------------------------------ cache
+
+_BYTE_SUFFIXES = {"": 1, "k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+_AGE_SUFFIXES = {"": 1, "s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}
+
+
+def _parse_scaled(value: str, suffixes, what: str) -> float:
+    value = value.strip().lower().rstrip("b" if what == "size" else "")
+    suffix = value[-1:] if value[-1:] in suffixes and value[-1:] != "" else ""
+    number = value[:-1] if suffix else value
+    try:
+        return float(number) * suffixes[suffix]
+    except (ValueError, KeyError):
+        raise ValueError(
+            f"malformed {what} {value!r}; examples: 1048576, 64M, 2G"
+            if what == "size" else
+            f"malformed {what} {value!r}; examples: 3600, 90m, 12h, 7d"
+        ) from None
+
+
+def parse_bytes(value: str) -> int:
+    """Parse a byte budget: plain bytes or a K/M/G suffix (``64M``)."""
+    return int(_parse_scaled(value, _BYTE_SUFFIXES, "size"))
+
+
+def parse_age(value: str) -> float:
+    """Parse an age: seconds or an s/m/h/d/w suffix (``12h``, ``7d``)."""
+    return _parse_scaled(value, _AGE_SUFFIXES, "age")
+
+
+def _cache_index(args: argparse.Namespace) -> CacheIndex:
+    return CacheIndex(Path(args.cache_dir))
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    totals = _cache_index(args).stats()
+    now = time.time()
+    rows = [{
+        "kind": kind,
+        "entries": bucket["entries"],
+        "bytes": bucket["bytes"],
+        "oldest_hit_age_s": int(now - bucket["oldest_hit"])
+        if bucket["oldest_hit"] else "-",
+        "newest_hit_age_s": int(now - bucket["newest_hit"])
+        if bucket["newest_hit"] else "-",
+    } for kind, bucket in sorted(totals.items())]
+    rows.append({
+        "kind": "TOTAL",
+        "entries": sum(b["entries"] for b in totals.values()),
+        "bytes": sum(b["bytes"] for b in totals.values()),
+        "oldest_hit_age_s": "", "newest_hit_age_s": "",
+    })
+    print(format_table(rows, title=f"Result-cache index at {args.cache_dir}"))
+    if not totals:
+        print("(empty index; if the tree has entries, run "
+              "'repro cache rebuild')")
+    return 0
+
+
+def _cmd_cache_ls(args: argparse.Namespace) -> int:
+    entries = _cache_index(args).load()
+    if args.kind:
+        entries = {key: record for key, record in entries.items()
+                   if record.get("kind") == args.kind}
+    sort_field = {"last-hit": "last_hit", "created": "created",
+                  "size": "size"}[args.sort]
+    ordered = sorted(entries.items(),
+                     key=lambda item: item[1].get(sort_field, 0.0),
+                     reverse=True)
+    if args.limit is not None:
+        ordered = ordered[:args.limit]
+    now = time.time()
+    rows = [{
+        "key": key[:12],
+        "kind": record.get("kind", "?"),
+        "size": record.get("size", "?"),
+        "hit_age_s": int(now - float(record.get("last_hit", now))),
+        "workload": record.get("summary", {}).get("workload", ""),
+        "protocol": record.get("summary", {}).get("protocol", ""),
+    } for key, record in ordered]
+    print(format_table(rows, title=f"{len(entries)} indexed entr"
+                                   f"{'y' if len(entries) == 1 else 'ies'}"))
+    return 0
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    report = _cache_index(args).verify()
+    print(report.describe())
+    if report.in_sync:
+        print("OK: index and tree agree")
+        return 0
+    for label, keys in (("missing from index", report.missing_from_index),
+                        ("missing from tree", report.missing_from_tree),
+                        ("metadata mismatch", report.mismatched),
+                        ("invalid payload", report.invalid)):
+        for key in keys[:10]:
+            print(f"  {label}: {key}", file=sys.stderr)
+        if len(keys) > 10:
+            print(f"  ... and {len(keys) - 10} more {label}", file=sys.stderr)
+    print("run 'repro cache rebuild' to resynchronize the index "
+          "(and 'repro cache gc' to reap invalid entries)", file=sys.stderr)
+    return 1
+
+
+def _cmd_cache_rebuild(args: argparse.Namespace) -> int:
+    entries = _cache_index(args).rebuild()
+    print(f"rebuilt index at {args.cache_dir}: {len(entries)} entries")
+    return 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    try:
+        max_bytes = parse_bytes(args.max_bytes) if args.max_bytes else None
+        max_age = parse_age(args.max_age) if args.max_age else None
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if max_bytes is None and max_age is None and not args.dry_run:
+        print("cache gc needs --max-bytes and/or --max-age "
+              "(or --dry-run to preview orphan-tmp cleanup)", file=sys.stderr)
+        return 2
+    report = collect_garbage(Path(args.cache_dir), max_bytes=max_bytes,
+                             max_age=max_age, kinds=args.kind or None,
+                             dry_run=args.dry_run)
+    print(report.describe())
+    for error in report.errors:
+        print(f"  error: {error}", file=sys.stderr)
+    return 1 if report.errors else 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    handlers = {
+        "stats": _cmd_cache_stats,
+        "ls": _cmd_cache_ls,
+        "verify": _cmd_cache_verify,
+        "rebuild": _cmd_cache_rebuild,
+        "gc": _cmd_cache_gc,
+    }
+    return handlers[args.cache_command](args)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.analysis.serve import build_server, make_queue
+
+    cache = ResultCache(Path(args.cache_dir))
+    try:
+        work_queue = make_queue(args.queue, cache, jobs=args.jobs or 1)
+        server = build_server(cache, host=args.host, port=args.port,
+                              work_queue=work_queue, verbose=args.verbose)
+    except (KeyError, OSError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    print(f"serving result cache {cache.root} at http://{host}:{port} "
+          f"(queue: {work_queue.name}); Ctrl-C to stop", flush=True)
+    # SIGTERM (CI teardown, containers, plain `kill`) gets the same clean
+    # shutdown as Ctrl-C: stop accepting, drain workers, flush the index.
+    import signal
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.server_close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing and documentation)."""
     parser = argparse.ArgumentParser(
@@ -905,6 +1085,81 @@ def build_parser() -> argparse.ArgumentParser:
                             help="destination result cache "
                                  "(default: benchmarks/results/cache)")
 
+    cache = sub.add_parser(
+        "cache",
+        help="inspect, verify, rebuild and garbage-collect the indexed "
+             "result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    def add_cache_dir(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                             help="result cache root "
+                                  "(default: benchmarks/results/cache)")
+
+    cache_stats = cache_sub.add_parser(
+        "stats", help="per-kind entry/byte totals from the metadata index")
+    add_cache_dir(cache_stats)
+
+    cache_ls = cache_sub.add_parser(
+        "ls", help="list indexed entries with kind, size and last-hit age")
+    add_cache_dir(cache_ls)
+    cache_ls.add_argument("--kind", default=None,
+                          help="only entries of this cell kind")
+    cache_ls.add_argument("--sort", choices=["last-hit", "created", "size"],
+                          default="last-hit",
+                          help="sort order, descending (default: last-hit)")
+    cache_ls.add_argument("--limit", type=int, default=None,
+                          help="show at most N entries")
+
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="reconcile the index against the entry tree "
+             "(exit 1 on any divergence)")
+    add_cache_dir(cache_verify)
+
+    cache_rebuild = cache_sub.add_parser(
+        "rebuild", help="rebuild the index from a full tree scan")
+    add_cache_dir(cache_rebuild)
+
+    cache_gc = cache_sub.add_parser(
+        "gc",
+        help="evict entries LRU by last hit (--max-bytes/--max-age/--kind) "
+             "and reap orphaned tmp files")
+    add_cache_dir(cache_gc)
+    cache_gc.add_argument("--max-bytes", default=None, metavar="SIZE",
+                          help="shrink the cache to at most SIZE "
+                               "(plain bytes or 64M/2G)")
+    cache_gc.add_argument("--max-age", default=None, metavar="AGE",
+                          help="drop entries not hit within AGE "
+                               "(seconds or 90m/12h/7d)")
+    cache_gc.add_argument("--kind", action="append", default=None,
+                          help="restrict eviction to this cell kind "
+                               "(repeatable)")
+    cache_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be removed without "
+                               "touching the tree")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the result cache over HTTP: hit -> payload, "
+             "miss -> 202 + pluggable work queue")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="TCP port; 0 picks a free one (default: 8321)")
+    serve.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                       help="result cache root "
+                            "(default: benchmarks/results/cache)")
+    serve.add_argument("--queue", choices=["null", "simulate"],
+                       default="null",
+                       help="what happens to misses: count only (null) or "
+                            "simulate in background workers (simulate)")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="background simulation workers for "
+                            "--queue simulate (default: 1)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per HTTP request")
+
     bench = sub.add_parser(
         "bench",
         help="time the pinned perf workloads; emit BENCH_<n>.json and "
@@ -956,6 +1211,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "storage": _cmd_storage,
         "litmus": _cmd_litmus,
         "fuzz": _cmd_fuzz,
+        "cache": _cmd_cache,
+        "serve": _cmd_serve,
         "bench": _cmd_bench,
     }
     if args.command == "bench":

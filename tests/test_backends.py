@@ -162,8 +162,10 @@ def test_batched_matches_local_payloads_and_cache_keys(tmp_path):
         assert canonical(local_results[cell]) == canonical(batched_results[cell])
     # Identical cache keys: the same entry files exist on both sides, with
     # byte-identical payloads.
-    local_entries = {p.name: p.read_text() for p in (tmp_path / "local").rglob("*.json")}
-    batched_entries = {p.name: p.read_text() for p in (tmp_path / "batched").rglob("*.json")}
+    # Entry files only: the advisory index (index-v1.json at the root)
+    # carries wall-clock timestamps and is not part of the payload contract.
+    local_entries = {p.name: p.read_text() for p in (tmp_path / "local").glob("*/*.json")}
+    batched_entries = {p.name: p.read_text() for p in (tmp_path / "batched").glob("*/*.json")}
     assert local_entries == batched_entries
     assert len(local_entries) == len(CELLS)
 
@@ -202,7 +204,7 @@ def test_batched_failure_keeps_sibling_cells_cached(tmp_path, monkeypatch):
         executor.run_cells(CELLS)
     # The three valid siblings of the failing batch were cached anyway.
     assert executor.simulations_run == len(CELLS) - 1
-    assert sum(1 for _ in tmp_path.rglob("*.json")) == len(CELLS) - 1
+    assert sum(1 for _ in tmp_path.glob("*/*.json")) == len(CELLS) - 1
 
 
 def test_sharded_union_matches_local_without_cache():
@@ -448,7 +450,7 @@ def test_cli_shard_run_and_merge_round_trip(tmp_path, capsys):
         assert code == 0
         assert "shard {}/2".format(index) in capsys.readouterr().out
 
-    counts = [sum(1 for _ in Path(d).rglob("*.json")) for d in shard_dirs]
+    counts = [sum(1 for _ in Path(d).glob("*/*.json")) for d in shard_dirs]
     assert sum(counts) == 2  # every cell ran in exactly one shard
 
     # Merging only the first shard must be reported as incomplete (unless

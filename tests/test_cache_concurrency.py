@@ -1,0 +1,326 @@
+"""Concurrency stress for the shared cache root and ``repro serve``.
+
+Process-level: N forked workers drive real :class:`MatrixExecutor` runs
+and mixed put/get/gc/rebuild loops against one cache root.  The
+multi-writer contract under test: no lost entries, no duplicate
+simulation beyond the planned cold misses, payloads byte-identical to a
+serial run, and **never** a wrong payload or an exception — a concurrent
+GC or writer can only turn a read into a miss.
+
+Thread-level: a client swarm hammers the HTTP server; hit/miss/202
+counts observed by the clients must equal the server's own counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from _cachekind import simulate_cachetest_cell
+from repro.analysis.cache_index import CacheIndex, collect_garbage
+from repro.analysis.parallel import (MatrixExecutor, ResultCache, cell_key)
+from repro.analysis.serve import build_server
+from repro.sim.config import SystemConfig
+from repro.sim.stats import STATS_SCHEMA_VERSION
+
+_MP = multiprocessing.get_context("fork")  # test workers share the registry
+
+SCALE, MAX_CYCLES = 0.2, 1000
+PROTOCOLS = ["MESI", "MSI", "TSO", "BC"]
+WORKLOADS = [f"wl-{i}" for i in range(6)]
+ALL_CELLS = [(p, w) for p in PROTOCOLS for w in WORKLOADS]  # 24 cells
+
+
+def _config() -> SystemConfig:
+    return SystemConfig().scaled(num_cores=2)
+
+
+def _run_executor(root: str, out_path: str, cells) -> None:
+    """Child-process body: run ``cells`` through a fresh executor and
+    report how many simulations it actually performed."""
+    cache = ResultCache(Path(root))
+    executor = MatrixExecutor(_config(), scale=SCALE, max_cycles=MAX_CYCLES,
+                              jobs=1, cache=cache, kind="cachetest")
+    results = executor.run_cells([tuple(cell) for cell in cells])
+    Path(out_path).write_text(json.dumps({
+        "simulated": executor.simulations_run,
+        "returned": len(results),
+    }), encoding="utf-8")
+
+
+def _spawn(target, argslist, timeout=120.0):
+    """Fork one process per args tuple; fail the test on any nonzero exit."""
+    processes = [_MP.Process(target=target, args=args) for args in argslist]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=timeout)
+    codes = [process.exitcode for process in processes]
+    assert codes == [0] * len(processes), f"worker exit codes: {codes}"
+
+
+def test_cold_then_warm_executor_fleet_loses_no_entries(tmp_path):
+    root = tmp_path / "cache"
+    outs = tmp_path / "outs"
+    outs.mkdir()
+
+    # Phase 1 — cold, disjoint partitions: each worker owns 6 cells, so the
+    # fleet performs exactly len(ALL_CELLS) simulations in total.
+    parts = [ALL_CELLS[i::4] for i in range(4)]
+    _spawn(_run_executor,
+           [(str(root), str(outs / f"cold-{i}.json"), parts[i])
+            for i in range(4)])
+    cold = [json.loads((outs / f"cold-{i}.json").read_text())
+            for i in range(4)]
+    assert sum(report["simulated"] for report in cold) == len(ALL_CELLS)
+    assert all(report["returned"] == 6 for report in cold)
+
+    # Phase 2 — warm, full overlap: every worker re-runs the complete cell
+    # list.  Zero simulations anywhere proves no phase-1 entry was lost or
+    # clobbered by the concurrent writers.
+    _spawn(_run_executor,
+           [(str(root), str(outs / f"warm-{i}.json"), ALL_CELLS)
+            for i in range(4)])
+    warm = [json.loads((outs / f"warm-{i}.json").read_text())
+            for i in range(4)]
+    assert sum(report["simulated"] for report in warm) == 0
+    assert all(report["returned"] == len(ALL_CELLS) for report in warm)
+
+    # Byte identity against a serial reference run in a pristine root.
+    serial_root = tmp_path / "serial"
+    serial = MatrixExecutor(_config(), scale=SCALE, max_cycles=MAX_CYCLES,
+                            jobs=1, cache=ResultCache(serial_root),
+                            kind="cachetest")
+    serial.run_cells(ALL_CELLS)
+    assert serial.simulations_run == len(ALL_CELLS)
+    for protocol, workload in ALL_CELLS:
+        key = cell_key(_config(), protocol, workload, SCALE, MAX_CYCLES,
+                       kind="cachetest")
+        concurrent_bytes = (root / key[:2] / f"{key}.json").read_bytes()
+        serial_bytes = (serial_root / key[:2] / f"{key}.json").read_bytes()
+        assert concurrent_bytes == serial_bytes
+
+    # The index written under concurrency reconciles against the tree
+    # after one rebuild (concurrent flushes may each have lost the other's
+    # metadata deltas — the documented advisory semantics — but rebuild
+    # heals from the tree, which lost nothing).
+    index = CacheIndex(root)
+    index.rebuild()
+    report = index.verify()
+    assert report.in_sync
+    assert report.entries == len(ALL_CELLS)
+
+
+# ------------------------------------------------------- mixed put/get/gc
+
+
+_STRESS_KEYS = [hashlib.sha256(f"stress-{i}".encode()).hexdigest()
+                for i in range(16)]
+
+
+def _stress_payload(i: int):
+    return {"schema": STATS_SCHEMA_VERSION, "workload": f"stress-{i}",
+            "protocol": "MESI", "slot": i}
+
+
+def _run_stress(root: str, out_path: str, worker_id: int, rounds: int) -> None:
+    """Mixed put/get/gc/rebuild loop.  The one inviolable property: a get
+    returns either ``None`` or the exact payload for its key."""
+    import random
+
+    cache = ResultCache(Path(root))
+    rng = random.Random(worker_id)
+    wrong = 0
+    for step in range(rounds):
+        i = rng.randrange(len(_STRESS_KEYS))
+        op = rng.random()
+        if op < 0.45:
+            cache.put(_STRESS_KEYS[i], _stress_payload(i))
+        elif op < 0.85:
+            payload = cache.get(_STRESS_KEYS[i])
+            if payload is not None and payload != _stress_payload(i):
+                wrong += 1
+        elif op < 0.95:
+            collect_garbage(Path(root), max_bytes=6 * 200, index=cache.index)
+        else:
+            cache.index.rebuild()
+    cache.flush_index()
+    Path(out_path).write_text(json.dumps({"wrong": wrong}), encoding="utf-8")
+
+
+def test_mixed_put_get_gc_swarm_never_serves_wrong_bytes(tmp_path):
+    root = tmp_path / "cache"
+    ResultCache(root).put(_STRESS_KEYS[0], _stress_payload(0))
+    outs = tmp_path / "outs"
+    outs.mkdir()
+    _spawn(_run_stress,
+           [(str(root), str(outs / f"stress-{i}.json"), i, 120)
+            for i in range(4)])
+    for i in range(4):
+        report = json.loads((outs / f"stress-{i}.json").read_text())
+        assert report["wrong"] == 0
+
+    # Whatever survived the battle parses and holds exactly the payload
+    # its key demands — GC and racing writers never left torn state.
+    survivors = sorted(root.glob("*/*.json"))
+    for path in survivors:
+        i = _STRESS_KEYS.index(path.stem)
+        assert json.loads(path.read_text(encoding="utf-8")) == \
+            _stress_payload(i)
+    # And the index heals to exactly the surviving tree.
+    index = CacheIndex(root)
+    index.rebuild()
+    assert index.verify().in_sync
+    assert len(index.load()) == len(survivors)
+
+
+# --------------------------------------------------------- HTTP client swarm
+
+
+def _http(base: str, path: str, body=None):
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(base + path, data=data)
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def test_threaded_client_swarm_counts_match_server(tmp_path):
+    cache = ResultCache(tmp_path)
+    warm_cells = ALL_CELLS[:6]
+    warm_keys = []
+    for protocol, workload in warm_cells:
+        key = cell_key(_config(), protocol, workload, SCALE, MAX_CYCLES,
+                       kind="cachetest")
+        cache.put(key, simulate_cachetest_cell(_config(), protocol, workload,
+                                               SCALE, MAX_CYCLES))
+        warm_keys.append(key)
+    cache.flush_index()
+
+    server = build_server(cache)  # null queue: misses are 202+dropped
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+
+    per_thread_rounds = 5
+    threads_n = 8
+    tallies = []
+    failures = []
+
+    def swarm(thread_id: int) -> None:
+        tally = {"hit": 0, "miss": 0, "accepted": 0}
+        try:
+            for round_no in range(per_thread_rounds):
+                # By-key hit on a warm entry.
+                key = warm_keys[(thread_id + round_no) % len(warm_keys)]
+                status, body = _http(base, f"/cache/{key}")
+                assert status == 200, (status, body)
+                tally["hit"] += 1
+                # By-key miss.
+                status, body = _http(base, "/cache/" + "0" * 64)
+                assert status == 404, (status, body)
+                tally["miss"] += 1
+                # Config hit on a warm cell.
+                protocol, workload = warm_cells[(thread_id + round_no)
+                                                % len(warm_cells)]
+                status, body = _http(base, "/lookup", {
+                    "protocol": protocol, "workload": workload, "cores": 2,
+                    "scale": SCALE, "max_cycles": MAX_CYCLES,
+                    "kind": "cachetest"})
+                assert status == 200, (status, body)
+                tally["hit"] += 1
+                # Config miss: a cell nobody ever simulated.
+                status, body = _http(base, "/lookup", {
+                    "protocol": "MESI",
+                    "workload": f"novel-{thread_id}-{round_no}",
+                    "cores": 2, "scale": SCALE, "max_cycles": MAX_CYCLES,
+                    "kind": "cachetest"})
+                assert status == 202, (status, body)
+                tally["miss"] += 1
+                tally["accepted"] += 1
+        except Exception as exc:  # pragma: no cover - diagnostic path
+            failures.append(f"thread {thread_id}: {exc!r}")
+        tallies.append(tally)
+
+    workers = [threading.Thread(target=swarm, args=(i,))
+               for i in range(threads_n)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=60.0)
+
+    try:
+        assert failures == []
+        expected = {
+            "hits": sum(t["hit"] for t in tallies),
+            "misses": sum(t["miss"] for t in tallies),
+            "accepted": sum(t["accepted"] for t in tallies),
+        }
+        assert expected["hits"] == threads_n * per_thread_rounds * 2
+        status, stats = _http(base, "/stats")
+        assert status == 200
+        assert stats["serve"]["hits"] == expected["hits"]
+        assert stats["serve"]["misses"] == expected["misses"]
+        assert stats["serve"]["accepted"] == expected["accepted"]
+        assert stats["serve"]["errors"] == 0
+        assert stats["queue"]["dropped"] == expected["accepted"]
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10.0)
+
+
+def test_simulate_queue_swarm_converges_to_hits(tmp_path):
+    """Many clients demanding the same novel cell: the in-flight dedup
+    keeps the simulation count near one, and every client converges to a
+    200 with the canonical payload."""
+    from repro.analysis.serve import SimulateQueue
+
+    cache = ResultCache(tmp_path)
+    queue = SimulateQueue(cache, jobs=2)
+    server = build_server(cache, work_queue=queue)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    body = {"protocol": "MESI", "workload": "hot-novel", "cores": 2,
+            "scale": SCALE, "max_cycles": MAX_CYCLES, "kind": "cachetest"}
+    expected_payload = simulate_cachetest_cell(_config(), "MESI", "hot-novel",
+                                               SCALE, MAX_CYCLES)
+    results = []
+
+    def poll_until_hit() -> None:
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            status, payload = _http(base, "/lookup", body)
+            if status == 200:
+                results.append(payload)
+                return
+            assert status == 202
+            time.sleep(0.02)
+        results.append(None)  # pragma: no cover - timeout path
+
+    workers = [threading.Thread(target=poll_until_hit) for _ in range(6)]
+    try:
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60.0)
+        assert results == [expected_payload] * 6
+        assert queue.completed >= 1
+        assert queue.failed == 0
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10.0)

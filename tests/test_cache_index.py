@@ -1,0 +1,451 @@
+"""Unit tests for the advisory cache index, GC policies and the
+``repro cache`` CLI.
+
+The index is advisory and the tree is truth: these tests pin the
+incremental bookkeeping (put/hit buffering, flush merge semantics),
+rebuild-as-fixpoint, verify reconciliation, the LRU/age/kind eviction
+policies, and the CLI exit-code contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.analysis import cache_index
+from repro.analysis.cache_index import (CacheIndex, collect_garbage,
+                                        iter_entry_files, summarize_payload)
+from repro.analysis.parallel import ResultCache
+from repro.cli import main, parse_age, parse_bytes
+from repro.sim.stats import STATS_SCHEMA_VERSION
+
+
+def _key(i: int) -> str:
+    return hashlib.sha256(f"cell-{i}".encode("utf-8")).hexdigest()
+
+
+def _payload(i: int, kind: str = "stats", filler: int = 0):
+    payload = {
+        "schema": STATS_SCHEMA_VERSION,
+        "workload": f"wl-{i}",
+        "protocol": "MESI",
+        "filler": "x" * filler,
+    }
+    if kind != "stats":
+        payload["kind"] = kind
+    return payload
+
+
+def _write_entry(root, key, payload) -> int:
+    """Write one entry file exactly as ``ResultCache.put`` lays it out."""
+    path = root / key[:2] / f"{key}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    blob = json.dumps(payload, sort_keys=True)
+    path.write_text(blob, encoding="utf-8")
+    return len(blob.encode("utf-8"))
+
+
+# ------------------------------------------------------------------ records
+
+
+def test_summarize_payload_keeps_scalar_summary_fields_only():
+    summary = summarize_payload({
+        "workload": "fft", "protocol": "MESI", "passed": True,
+        "cycles": 123, "per_core": [1, 2], "nested": {"a": 1},
+    })
+    assert summary == {"workload": "fft", "protocol": "MESI",
+                       "passed": True, "cycles": 123}
+
+
+def test_record_put_flush_load_roundtrip(tmp_path):
+    index = CacheIndex(tmp_path)
+    key = _key(0)
+    size = _write_entry(tmp_path, key, _payload(0))
+    index.record_put(key, _payload(0), size, now=100.0)
+    assert index.buffered == 1
+    assert index.flush()
+    assert index.buffered == 0
+
+    records = index.load()
+    assert set(records) == {key}
+    record = records[key]
+    assert record["kind"] == "stats"
+    assert record["payload_schema"] == STATS_SCHEMA_VERSION
+    assert record["size"] == size
+    assert record["created"] == 100.0
+    assert record["last_hit"] == 100.0
+    assert record["summary"]["workload"] == "wl-0"
+
+
+def test_record_hit_advances_last_hit_monotonically(tmp_path):
+    index = CacheIndex(tmp_path)
+    key = _key(0)
+    index.record_put(key, _payload(0), 10, now=100.0)
+    index.flush()
+    index.record_hit(key, now=250.0)
+    index.record_hit(key, now=200.0)  # out-of-order hit must not regress
+    index.flush()
+    assert index.load()[key]["last_hit"] == 250.0
+    assert index.load()[key]["created"] == 100.0
+
+
+def test_hit_on_unknown_key_is_dropped_not_invented(tmp_path):
+    # A hit for a key the index has never seen carries no size/kind
+    # metadata; inventing a record would corrupt stats totals.
+    index = CacheIndex(tmp_path)
+    index.record_hit(_key(7), now=50.0)
+    assert index.flush()
+    assert index.load() == {}
+
+
+def test_auto_flush_at_threshold(tmp_path, monkeypatch):
+    monkeypatch.setattr(cache_index, "AUTO_FLUSH_THRESHOLD", 3)
+    index = CacheIndex(tmp_path)
+    for i in range(3):
+        index.record_put(_key(i), _payload(i), 10, now=float(i))
+    assert index.buffered == 0  # third record tripped the flush
+    assert len(index.load()) == 3
+
+
+def test_flush_rebuffers_deltas_when_root_unwritable(tmp_path, monkeypatch):
+    index = CacheIndex(tmp_path)
+    index.record_put(_key(0), _payload(0), 10, now=1.0)
+    monkeypatch.setattr(CacheIndex, "_write", lambda self, entries: False)
+    assert not index.flush()
+    assert index.buffered == 1  # nothing lost
+    monkeypatch.undo()
+    assert index.flush()
+    assert _key(0) in index.load()
+
+
+# ------------------------------------------------------------------ rebuild
+
+
+def test_rebuild_from_tree_scan(tmp_path):
+    sizes = {}
+    for i in range(4):
+        sizes[_key(i)] = _write_entry(tmp_path, _key(i), _payload(i, filler=i))
+    # Non-entries that the scan must ignore:
+    (tmp_path / "aa").mkdir(exist_ok=True)
+    (tmp_path / "aa" / "writer.1234.tmp").write_text("{", encoding="utf-8")
+
+    index = CacheIndex(tmp_path)
+    entries = index.rebuild()
+    assert set(entries) == set(sizes)
+    for key, record in entries.items():
+        assert record["size"] == sizes[key]
+    assert index.load() == entries
+
+
+def test_rebuild_is_a_fixpoint_for_an_in_sync_index(tmp_path):
+    index = CacheIndex(tmp_path)
+    for i in range(3):
+        size = _write_entry(tmp_path, _key(i), _payload(i))
+        index.record_put(_key(i), _payload(i), size, now=100.0 + i)
+    index.record_hit(_key(0), now=500.0)
+    index.flush()
+    before = index.load()
+    assert index.rebuild() == before  # timestamps preserved exactly
+
+
+def test_rebuild_skips_unparseable_entries_and_clears_pending(tmp_path):
+    size = _write_entry(tmp_path, _key(0), _payload(0))
+    bad = tmp_path / "bb" / f"{_key(1)}.json"
+    bad.parent.mkdir(parents=True, exist_ok=True)
+    bad.write_text('{"schema": 1, "torn', encoding="utf-8")
+
+    index = CacheIndex(tmp_path)
+    index.record_put(_key(2), _payload(2), 99, now=1.0)  # no file behind it
+    entries = index.rebuild()
+    assert set(entries) == {_key(0)}
+    assert entries[_key(0)]["size"] == size
+    assert index.buffered == 0
+
+
+def test_index_file_is_invisible_to_entry_scans(tmp_path):
+    index = CacheIndex(tmp_path)
+    _write_entry(tmp_path, _key(0), _payload(0))
+    index.rebuild()
+    assert index.path.exists()
+    assert [p.stem for p in iter_entry_files(tmp_path)] == [_key(0)]
+
+
+# ------------------------------------------------------------------- verify
+
+
+def test_verify_in_sync_after_incremental_updates(tmp_path):
+    index = CacheIndex(tmp_path)
+    for i in range(3):
+        size = _write_entry(tmp_path, _key(i), _payload(i))
+        index.record_put(_key(i), _payload(i), size, now=float(i))
+    report = index.verify()  # flushes the buffered records itself
+    assert report.in_sync
+    assert report.entries == report.indexed == 3
+    assert "3 entries in tree, 3 indexed" in report.describe()
+
+
+def test_verify_reports_divergence_both_ways(tmp_path):
+    index = CacheIndex(tmp_path)
+    size = _write_entry(tmp_path, _key(0), _payload(0))
+    index.record_put(_key(0), _payload(0), size, now=1.0)
+    index.record_put(_key(1), _payload(1), 10, now=1.0)  # no file (gone)
+    index.flush()
+    _write_entry(tmp_path, _key(2), _payload(2))  # file the index missed
+
+    report = index.verify()
+    assert not report.in_sync
+    assert report.missing_from_tree == [_key(1)]
+    assert report.missing_from_index == [_key(2)]
+
+    index.rebuild()
+    assert index.verify().in_sync
+
+
+def test_verify_flags_mismatched_metadata_and_invalid_payloads(tmp_path):
+    index = CacheIndex(tmp_path)
+    size = _write_entry(tmp_path, _key(0), _payload(0))
+    index.record_put(_key(0), _payload(0), size + 5, now=1.0)  # wrong size
+    index.flush()
+    bad = tmp_path / "cc" / f"{_key(1)}.json"
+    bad.parent.mkdir(parents=True, exist_ok=True)
+    bad.write_text("not json at all", encoding="utf-8")
+
+    report = index.verify()
+    assert report.mismatched == [_key(0)]
+    assert report.invalid == [_key(1)]
+    assert not report.in_sync
+
+
+def test_stats_totals_match_tree_walk(tmp_path):
+    index = CacheIndex(tmp_path)
+    expect_bytes = {"stats": 0, "cachetest": 0}
+    expect_counts = {"stats": 0, "cachetest": 0}
+    for i in range(5):
+        kind = "stats" if i % 2 == 0 else "cachetest"
+        size = _write_entry(tmp_path, _key(i), _payload(i, kind=kind, filler=i))
+        index.record_put(_key(i), _payload(i, kind=kind, filler=i), size,
+                         now=float(i))
+        expect_bytes[kind] += size
+        expect_counts[kind] += 1
+    index.flush()
+    totals = index.stats()
+    walked = sum(p.stat().st_size for p in iter_entry_files(tmp_path))
+    assert sum(b["bytes"] for b in totals.values()) == walked
+    for kind in expect_counts:
+        assert totals[kind]["entries"] == expect_counts[kind]
+        assert totals[kind]["bytes"] == expect_bytes[kind]
+    assert totals["stats"]["oldest_hit"] == 0.0
+    assert totals["stats"]["newest_hit"] == 4.0
+
+
+# ----------------------------------------------------------------------- GC
+
+
+def _populate(tmp_path, count: int, kind: str = "stats"):
+    """``count`` entries with last_hit == i (strictly increasing ages)."""
+    index = CacheIndex(tmp_path)
+    sizes = {}
+    for i in range(count):
+        key = _key(i)
+        sizes[key] = _write_entry(tmp_path, key, _payload(i, kind=kind,
+                                                          filler=10))
+        index.record_put(key, _payload(i, kind=kind, filler=10), sizes[key],
+                         now=float(i))
+    index.flush()
+    return index, sizes
+
+
+def test_gc_max_age_never_removes_entries_newer_than_cutoff(tmp_path):
+    index, _ = _populate(tmp_path, 6)
+    report = collect_garbage(tmp_path, max_age=3.0, now=6.0, index=index)
+    # cutoff = 3.0: entries with last_hit 0,1,2 go; 3,4,5 stay.
+    assert sorted(report.removed) == sorted(_key(i) for i in range(3))
+    survivors = {p.stem for p in iter_entry_files(tmp_path)}
+    assert survivors == {_key(i) for i in range(3, 6)}
+    # Index was updated in the same pass.
+    assert set(index.load()) == survivors
+    assert index.verify().in_sync
+
+
+def test_gc_max_bytes_evicts_lru_first(tmp_path):
+    index, sizes = _populate(tmp_path, 5)
+    per_entry = next(iter(sizes.values()))
+    budget = 2 * per_entry  # keep the two most recently hit
+    report = collect_garbage(tmp_path, max_bytes=budget, now=10.0, index=index)
+    assert sorted(report.removed) == sorted(_key(i) for i in range(3))
+    assert report.remaining_bytes <= budget
+    assert report.remaining_entries == 2
+    assert {p.stem for p in iter_entry_files(tmp_path)} == {_key(3), _key(4)}
+
+
+def test_gc_recent_hit_rescues_an_old_entry(tmp_path):
+    index, sizes = _populate(tmp_path, 4)
+    index.record_hit(_key(0), now=100.0)  # oldest entry becomes hottest
+    per_entry = next(iter(sizes.values()))
+    report = collect_garbage(tmp_path, max_bytes=2 * per_entry, now=200.0,
+                             index=index)
+    assert _key(0) not in report.removed
+    assert {p.stem for p in iter_entry_files(tmp_path)} == {_key(0), _key(3)}
+
+
+def test_gc_kind_filter_restricts_eviction_but_counts_all_bytes(tmp_path):
+    index = CacheIndex(tmp_path)
+    sizes = {}
+    for i in range(4):
+        kind = "stats" if i < 2 else "cachetest"
+        key = _key(i)
+        sizes[key] = _write_entry(tmp_path, key, _payload(i, kind=kind,
+                                                          filler=10))
+        index.record_put(key, _payload(i, kind=kind, filler=10), sizes[key],
+                         now=float(i))
+    index.flush()
+    report = collect_garbage(tmp_path, max_bytes=0, kinds=["cachetest"],
+                             now=10.0, index=index)
+    # Only cachetest entries are evictable; the stats entries survive and
+    # keep the remaining total above the (impossible) zero budget.
+    assert sorted(report.removed) == sorted([_key(2), _key(3)])
+    assert {p.stem for p in iter_entry_files(tmp_path)} == {_key(0), _key(1)}
+    assert report.remaining_bytes == sum(sizes[_key(i)] for i in range(2))
+
+
+def test_gc_dry_run_removes_nothing(tmp_path):
+    index, _ = _populate(tmp_path, 3)
+    report = collect_garbage(tmp_path, max_age=0.0, now=100.0, index=index,
+                             dry_run=True)
+    assert report.dry_run
+    assert len(report.removed) == 3
+    assert "would remove" in report.describe()
+    assert len(list(iter_entry_files(tmp_path))) == 3
+    assert len(index.load()) == 3
+
+
+def test_gc_reaps_orphaned_tmps_past_grace_only(tmp_path):
+    import os
+
+    index, _ = _populate(tmp_path, 1)
+    subdir = tmp_path / _key(0)[:2]
+    stale = subdir / f"{_key(5)}.4242.tmp"
+    stale.write_text("{", encoding="utf-8")
+    os.utime(stale, (0.0, 0.0))  # ancient
+    fresh = subdir / f"{_key(6)}.4243.tmp"
+    fresh.write_text("{", encoding="utf-8")  # mtime = now: mid-put writer
+
+    # No eviction policy: the pass only reaps orphaned tmp files.
+    report = collect_garbage(tmp_path, index=index)
+    assert report.tmps_removed == 1
+    assert not stale.exists()
+    assert fresh.exists()
+    assert len(list(iter_entry_files(tmp_path))) == 1
+
+
+def test_gc_without_index_falls_back_to_mtimes(tmp_path):
+    import os
+
+    for i in range(2):
+        _write_entry(tmp_path, _key(i), _payload(i))
+    old = tmp_path / _key(0)[:2] / f"{_key(0)}.json"
+    os.utime(old, (1.0, 1.0))
+    report = collect_garbage(tmp_path, max_age=1000.0)
+    assert report.removed == [_key(0)]
+    assert {p.stem for p in iter_entry_files(tmp_path)} == {_key(1)}
+
+
+# --------------------------------------------------------- ResultCache glue
+
+
+def test_result_cache_put_get_maintain_index(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = _key(0)
+    cache.put(key, _payload(0))
+    assert cache.get(key) is not None
+    cache.flush_index()
+    record = cache.index.load()[key]
+    assert record["kind"] == "stats"
+    assert record["size"] == (tmp_path / key[:2] / f"{key}.json").stat().st_size
+    assert record["last_hit"] >= record["created"]
+    assert cache.index.verify().in_sync
+
+
+def test_untracked_cache_writes_no_index(tmp_path):
+    cache = ResultCache(tmp_path, track=False)
+    cache.put(_key(0), _payload(0))
+    assert cache.get(_key(0)) is not None
+    cache.flush_index()
+    assert not (tmp_path / cache_index.INDEX_BASENAME).exists()
+
+
+# ------------------------------------------------------------------ the CLI
+
+
+def test_parse_bytes_and_age_suffixes():
+    assert parse_bytes("1048576") == 1 << 20
+    assert parse_bytes("64M") == 64 << 20
+    assert parse_bytes("2g") == 2 << 30
+    assert parse_bytes("10K") == 10 << 10
+    assert parse_age("3600") == 3600.0
+    assert parse_age("90m") == 5400.0
+    assert parse_age("12h") == 43200.0
+    assert parse_age("7d") == 7 * 86400.0
+    for bad in ("", "garbage", "12q"):
+        with pytest.raises(ValueError):
+            parse_bytes(bad)
+        with pytest.raises(ValueError):
+            parse_age(bad)
+
+
+def test_cache_cli_stats_ls_verify_rebuild_roundtrip(tmp_path, capsys):
+    cache = ResultCache(tmp_path)
+    for i in range(3):
+        cache.put(_key(i), _payload(i))
+    cache.flush_index()
+    root = str(tmp_path)
+
+    assert main(["cache", "stats", "--cache-dir", root]) == 0
+    out = capsys.readouterr().out
+    assert "stats" in out and "TOTAL" in out
+
+    assert main(["cache", "ls", "--cache-dir", root, "--limit", "2"]) == 0
+    out = capsys.readouterr().out
+    assert _key(0)[:12] in out or _key(1)[:12] in out or _key(2)[:12] in out
+
+    assert main(["cache", "verify", "--cache-dir", root]) == 0
+    assert "OK: index and tree agree" in capsys.readouterr().out
+
+    # Diverge the index (extra tree entry), then heal it.
+    blob = json.dumps(_payload(9), sort_keys=True)
+    extra = tmp_path / _key(9)[:2] / f"{_key(9)}.json"
+    extra.parent.mkdir(parents=True, exist_ok=True)
+    extra.write_text(blob, encoding="utf-8")
+    assert main(["cache", "verify", "--cache-dir", root]) == 1
+    err = capsys.readouterr().err
+    assert "missing from index" in err and "cache rebuild" in err
+
+    assert main(["cache", "rebuild", "--cache-dir", root]) == 0
+    assert "4 entries" in capsys.readouterr().out
+    assert main(["cache", "verify", "--cache-dir", root]) == 0
+
+
+def test_cache_cli_gc_policies_and_exit_codes(tmp_path, capsys):
+    cache = ResultCache(tmp_path)
+    for i in range(3):
+        cache.put(_key(i), _payload(i))
+    cache.flush_index()
+    root = str(tmp_path)
+
+    # No policy and not a dry run: refuse.
+    assert main(["cache", "gc", "--cache-dir", root]) == 2
+    assert "needs --max-bytes" in capsys.readouterr().err
+    # Malformed budget: refuse.
+    assert main(["cache", "gc", "--cache-dir", root, "--max-bytes", "9x"]) == 2
+    capsys.readouterr()
+    # Dry run previews without a policy.
+    assert main(["cache", "gc", "--cache-dir", root, "--dry-run"]) == 0
+    assert "would remove" in capsys.readouterr().out
+    # An unreachable byte budget empties the tree (kind-filtered to prove
+    # flag plumbing; every entry here is "stats").
+    assert main(["cache", "gc", "--cache-dir", root, "--max-bytes", "0",
+                 "--kind", "stats"]) == 0
+    assert "removed 3 of 3" in capsys.readouterr().out
+    assert list(iter_entry_files(tmp_path)) == []

@@ -203,9 +203,9 @@ def test_campaign_payloads_identical_across_backends(tmp_path):
     spec.run(jobs=2, cache=local)
     spec.run(jobs=2, cache=batched, backend=BatchedBackend(batch_size=3))
     local_entries = {p.name: p.read_text() for p in
-                     (tmp_path / "local").rglob("*.json")}
+                     (tmp_path / "local").glob("*/*.json")}
     batched_entries = {p.name: p.read_text() for p in
-                       (tmp_path / "batched").rglob("*.json")}
+                       (tmp_path / "batched").glob("*/*.json")}
     assert local_entries == batched_entries
     assert len(local_entries) == spec.num_cells
 
@@ -549,7 +549,7 @@ def test_cli_fuzz_sharded_run_and_merge(tmp_path, capsys):
     merged = str(tmp_path / "merged")
     incomplete = main(["fuzz", "merge", "fuzz-smoke", "--from", shard_dirs[0],
                        "--cache-dir", merged] + overrides)
-    counts = [sum(1 for _ in Path(d).rglob("*.json")) for d in shard_dirs]
+    counts = [sum(1 for _ in Path(d).glob("*/*.json")) for d in shard_dirs]
     assert sum(counts) == 4  # disjoint full cover
     output = capsys.readouterr()
     if counts[0] < 4:

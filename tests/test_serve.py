@@ -1,0 +1,346 @@
+"""The ``repro serve`` HTTP API: request validation, hit/miss/202 flow,
+the simulate queue's dedup-and-fill behaviour, and real-socket smoke via
+``build_server``.
+
+The ``CacheService`` layer is exercised without sockets (every handler
+method returns ``(status, body)``); one class drives the actual
+``ThreadingHTTPServer`` over localhost to pin the HTTP plumbing
+(Content-Length framing, 404/400/413 paths).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from dataclasses import asdict
+
+import pytest
+
+from _cachekind import CACHETEST_SCHEMA, simulate_cachetest_cell
+from repro.analysis.parallel import ResultCache, cell_key
+from repro.analysis.serve import (CacheService, LookupError_, NullQueue,
+                                  SimulateQueue, build_request_config,
+                                  build_server, make_queue)
+from repro.sim.config import SystemConfig
+from repro.sim.stats import STATS_SCHEMA_VERSION
+
+
+def _warm(cache: ResultCache, protocol="MESI", workload="fft", cores=2,
+          scale=0.2, max_cycles=1000, kind="cachetest"):
+    """Cache one cachetest cell exactly as a sweep would, return its key."""
+    config = SystemConfig().scaled(num_cores=cores)
+    key = cell_key(config, protocol, workload, scale, max_cycles, kind=kind)
+    cache.put(key, simulate_cachetest_cell(config, protocol, workload, scale,
+                                           max_cycles))
+    return key
+
+
+def _lookup_body(protocol="MESI", workload="fft", cores=2, scale=0.2,
+                 max_cycles=1000, kind="cachetest", **extra):
+    body = {"protocol": protocol, "workload": workload, "cores": cores,
+            "scale": scale, "max_cycles": max_cycles, "kind": kind}
+    body.update(extra)
+    return body
+
+
+# --------------------------------------------------------- request configs
+
+
+def test_build_request_config_cores_matches_sweep_planner():
+    # The serve construction must hash to the same key a sweep plans with.
+    assert build_request_config({"cores": 2}) == \
+        SystemConfig().scaled(num_cores=2)
+
+
+def test_build_request_config_explicit_config_wins_over_cores():
+    explicit = asdict(SystemConfig())
+    config = build_request_config({"config": explicit, "cores": 8})
+    assert config == SystemConfig()
+
+
+@pytest.mark.parametrize("body", [
+    {},                                       # neither form
+    {"cores": 0}, {"cores": -1}, {"cores": True}, {"cores": "two"},
+    {"config": "nope"},                       # not an object
+    {"config": {"no_such_field": 1}},         # unknown field
+])
+def test_build_request_config_rejects_malformed_bodies(body):
+    with pytest.raises(LookupError_):
+        build_request_config(body)
+
+
+# ---------------------------------------------------------- service logic
+
+
+def test_lookup_key_hit_miss_and_malformed(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = _warm(cache)
+    service = CacheService(cache)
+
+    status, body = service.lookup_key(key)
+    assert status == 200
+    assert body["kind"] == "cachetest" and body["workload"] == "fft"
+
+    status, body = service.lookup_key("0" * 64)
+    assert (status, body["status"]) == (404, "miss")
+
+    for bad in ("short", "Z" * 64, "../../etc/passwd", key.upper()):
+        status, body = service.lookup_key(bad)
+        assert status == 400
+
+    assert (service.hits, service.misses, service.errors) == (1, 1, 4)
+
+
+def test_lookup_config_hit_returns_cached_payload(tmp_path):
+    cache = ResultCache(tmp_path)
+    _warm(cache)
+    service = CacheService(cache)
+    status, body = service.lookup_config(_lookup_body())
+    assert status == 200
+    assert body == simulate_cachetest_cell(SystemConfig().scaled(num_cores=2),
+                                           "MESI", "fft", 0.2, 1000)
+    assert service.hits == 1
+
+
+def test_lookup_config_miss_returns_202_with_the_planned_key(tmp_path):
+    cache = ResultCache(tmp_path)
+    service = CacheService(cache)  # default null queue
+    status, body = service.lookup_config(_lookup_body(workload="intruder"))
+    assert status == 202
+    assert body["status"] == "accepted"
+    assert body["queue"] == "null"
+    assert body["queued"] is False
+    # The advertised key is exactly what a sweep would compute.
+    assert body["key"] == cell_key(SystemConfig().scaled(num_cores=2), "MESI",
+                                   "intruder", 0.2, 1000, kind="cachetest")
+    assert (service.misses, service.accepted) == (1, 1)
+    assert service.queue.dropped == 1
+
+
+@pytest.mark.parametrize("body", [
+    "not a dict",
+    {"workload": "fft", "cores": 2},                      # missing protocol
+    {"protocol": "MESI", "cores": 2},                     # missing workload
+    _lookup_body(scale="big"),
+    _lookup_body(max_cycles=2.5),
+    _lookup_body(max_cycles=True),
+    _lookup_body(kind="no-such-kind"),
+    _lookup_body(kind=7),
+    _lookup_body(cores=None),
+])
+def test_lookup_config_rejects_malformed_requests(tmp_path, body):
+    service = CacheService(ResultCache(tmp_path))
+    status, response = service.lookup_config(body)
+    assert status == 400
+    assert "error" in response
+    assert service.errors == 1
+
+
+def test_service_stats_reports_all_layers(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = _warm(cache)
+    cache.flush_index()
+    service = CacheService(cache)
+    service.lookup_key(key)
+    service.lookup_key("0" * 64)
+    status, body = service.stats()
+    assert status == 200
+    assert body["serve"] == {"hits": 1, "misses": 1, "accepted": 0,
+                             "errors": 0}
+    assert body["cache"]["enabled"] is True
+    assert body["index"]["cachetest"]["entries"] == 1
+    assert body["queue"]["queue"] == "null"
+
+
+# -------------------------------------------------------- simulate queue
+
+
+def test_simulate_queue_fills_the_cache_on_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    queue = SimulateQueue(cache, jobs=2)
+    service = CacheService(cache, queue)
+    try:
+        status, body = service.lookup_config(_lookup_body())
+        assert status == 202 and body["queued"] is True
+        queue.drain()
+        assert queue.completed == 1 and queue.failed == 0
+        # The very next lookup of the same cell hits, byte-identically to
+        # what a sweep would have cached.
+        status, body = service.lookup_config(_lookup_body())
+        assert status == 200
+        assert body == simulate_cachetest_cell(
+            SystemConfig().scaled(num_cores=2), "MESI", "fft", 0.2, 1000)
+        # And the index learned about the simulated entry.
+        key = cell_key(SystemConfig().scaled(num_cores=2), "MESI", "fft",
+                       0.2, 1000, kind="cachetest")
+        assert cache.index.load()[key]["kind"] == "cachetest"
+    finally:
+        service.close()
+
+
+def test_simulate_queue_deduplicates_in_flight_keys(tmp_path):
+    cache = ResultCache(tmp_path)
+    queue = SimulateQueue(cache, jobs=1)
+    try:
+        release = threading.Event()
+        job = {"key": "k1", "kind": "cachetest",
+               "config": asdict(SystemConfig().scaled(num_cores=2)),
+               "protocol": "MESI", "workload": "fft", "scale": 0.2,
+               "max_cycles": 1000}
+        # Stall the single worker so the key stays in flight.
+        stall = dict(job, key="k0", kind="__stall__")
+        queue._inflight.add("k0")
+        real_get_cell_kind = None
+
+        import repro.analysis.serve as serve_mod
+        real_get_cell_kind = serve_mod.get_cell_kind
+
+        def gated(name):
+            if name == "__stall__":
+                release.wait(timeout=10.0)
+                raise KeyError("__stall__")
+            return real_get_cell_kind(name)
+
+        serve_mod.get_cell_kind = gated
+        try:
+            queue._jobs.put(stall)
+            first = queue.enqueue(dict(job))
+            second = queue.enqueue(dict(job))
+            assert first == {"queued": True, "backlog": first["backlog"]}
+            assert second == {"queued": False, "reason": "already in flight"}
+            release.set()
+            queue.drain()
+        finally:
+            serve_mod.get_cell_kind = real_get_cell_kind
+        assert queue.completed == 1  # one simulation for two requests
+        assert queue.failed == 1     # the stall sentinel
+        assert cache.get_any(job["key"]) is not None
+    finally:
+        queue.close()
+
+
+def test_simulate_queue_survives_failing_cells(tmp_path):
+    cache = ResultCache(tmp_path)
+    queue = SimulateQueue(cache, jobs=1)
+    try:
+        queue.enqueue({"key": "bad", "kind": "no-such-kind", "config": {},
+                       "protocol": "p", "workload": "w", "scale": 0.1,
+                       "max_cycles": 1})
+        queue.drain()
+        assert queue.failed == 1
+        # The worker thread survived and still processes good jobs.
+        queue.enqueue({"key": "good", "kind": "cachetest",
+                       "config": asdict(SystemConfig().scaled(num_cores=2)),
+                       "protocol": "MESI", "workload": "fft", "scale": 0.2,
+                       "max_cycles": 1000})
+        queue.drain()
+        assert queue.completed == 1
+        snapshot = queue.snapshot()
+        assert snapshot["in_flight"] == 0 and snapshot["backlog"] == 0
+    finally:
+        queue.close()
+
+
+def test_make_queue_registry(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert isinstance(make_queue("null", cache), NullQueue)
+    simulate = make_queue("simulate", cache, jobs=1)
+    assert isinstance(simulate, SimulateQueue)
+    simulate.close()
+    with pytest.raises(KeyError):
+        make_queue("celery", cache)
+
+
+# ------------------------------------------------------------- HTTP layer
+
+
+class _Client:
+    def __init__(self, server):
+        host, port = server.server_address[:2]
+        self.base = f"http://{host}:{port}"
+
+    def request(self, path, data=None, headers=None):
+        request = urllib.request.Request(self.base + path, data=data,
+                                         headers=headers or {})
+        try:
+            with urllib.request.urlopen(request, timeout=10.0) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def get(self, path):
+        return self.request(path)
+
+    def post(self, path, body):
+        data = json.dumps(body).encode("utf-8")
+        return self.request(path, data=data,
+                            headers={"Content-Type": "application/json"})
+
+
+@pytest.fixture
+def served(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = _warm(cache)
+    server = build_server(cache)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield _Client(server), key, cache
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10.0)
+
+
+def test_http_healthz_and_stats(served):
+    client, _, _ = served
+    assert client.get("/healthz") == (200, {"status": "ok"})
+    status, body = client.get("/stats")
+    assert status == 200
+    assert set(body) == {"serve", "cache", "index", "queue"}
+
+
+def test_http_cache_key_hit_miss_and_bad_key(served):
+    client, key, _ = served
+    status, body = client.get(f"/cache/{key}")
+    assert status == 200 and body["workload"] == "fft"
+    status, body = client.get("/cache/" + "0" * 64)
+    assert status == 404 and body["status"] == "miss"
+    status, _ = client.get("/cache/not-a-key")
+    assert status == 400
+
+
+def test_http_lookup_hit_miss_and_errors(served):
+    client, _, _ = served
+    status, body = client.post("/lookup", _lookup_body())
+    assert status == 200 and body["workload"] == "fft"
+    status, body = client.post("/lookup", _lookup_body(workload="intruder"))
+    assert status == 202 and body["status"] == "accepted"
+
+    status, _ = client.post("/lookup", {"protocol": "MESI"})
+    assert status == 400
+    status, _ = client.get("/nope")
+    assert status == 404
+
+    # Non-JSON body.
+    status, body = client.request(
+        "/lookup", data=b"this is not json",
+        headers={"Content-Type": "application/json"})
+    assert status == 400 and "JSON" in body["error"]
+
+
+def test_http_rejects_oversized_bodies(served):
+    # The server answers 413 without reading the body, so send only the
+    # headers (a urllib client would die on a broken pipe mid-upload).
+    import socket
+
+    client, _, _ = served
+    host, port = client.base[len("http://"):].rsplit(":", 1)
+    with socket.create_connection((host, int(port)), timeout=10.0) as sock:
+        sock.sendall(b"POST /lookup HTTP/1.1\r\n"
+                     b"Host: test\r\n"
+                     b"Content-Length: 2097152\r\n\r\n")
+        response = sock.recv(4096).decode("utf-8", "replace")
+    assert response.startswith("HTTP/1.1 413")
