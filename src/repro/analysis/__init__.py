@@ -10,12 +10,18 @@
   on-disk result cache); see EXPERIMENTS.md.
 * :mod:`repro.analysis.tables` — plain-text table rendering used by the
   benchmark harness and the examples.
+* :mod:`repro.analysis.report` — declarative reporting over the result
+  cache: :class:`SpecReport` speedup/geomean tables, HTML dashboards and
+  cache-snapshot diffing (``repro report``); see EXPERIMENTS.md
+  "Reporting & dashboards".
 """
 
 from repro.analysis.experiments import ExperimentRunner, FigureData
 from repro.analysis.metrics import amean, gmean, normalize_to_baseline
 from repro.analysis.parallel import (MatrixExecutor, ResultCache,
                                      WorkloadValidationError, resolve_jobs)
+from repro.analysis.report import (ReportTable, SpecReport, diff_snapshots,
+                                   gather_cells, render_dashboard)
 from repro.analysis.tables import format_series_table, format_table
 
 __all__ = [
@@ -30,4 +36,9 @@ __all__ = [
     "normalize_to_baseline",
     "format_table",
     "format_series_table",
+    "ReportTable",
+    "SpecReport",
+    "diff_snapshots",
+    "gather_cells",
+    "render_dashboard",
 ]

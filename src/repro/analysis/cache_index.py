@@ -84,6 +84,22 @@ def iter_entry_files(root: Union[str, Path]) -> Iterator[Path]:
     yield from sorted(Path(root).glob("*/*.json"))
 
 
+def indexed_kinds(root: Union[str, Path]) -> Dict[str, str]:
+    """Advisory ``key -> kind`` map from the on-disk index.
+
+    Lets kind-filtered cache scans (``repro report cache --kind``) skip
+    parsing entries the index already classifies as another kind.  The
+    index is advisory: a missing/torn index yields ``{}``, and callers
+    must still parse entries the index does not cover.
+    """
+    kinds: Dict[str, str] = {}
+    for key, record in CacheIndex(root).load().items():
+        kind = record.get("kind")
+        if isinstance(kind, str):
+            kinds[key] = kind
+    return kinds
+
+
 def _entry_record(payload: Dict[str, object], size: int, created: float,
                   last_hit: float) -> Dict[str, object]:
     return {

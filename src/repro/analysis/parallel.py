@@ -50,6 +50,99 @@ CACHE_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
+class ReportField:
+    """One *declared* reportable quantity of a cell kind.
+
+    The reporting layer (:mod:`repro.analysis.report`) is driven entirely
+    by metadata: a kind declares which quantities its decoded results
+    expose, how each aggregates over a workload mix, which direction is
+    better (the sign convention for speedup-vs-baseline normalization) and
+    how to render it.  Stats cells and fuzz verdicts flow through one
+    pipeline because both merely declare fields.
+
+    Attributes:
+        name: column name in report tables (for the ``"stats"`` kind these
+            are exactly the :data:`repro.analysis.sweeps.METRICS` names, so
+            ``SweepSpec.metrics`` selects declared fields).
+        extract: decoded result object -> value (e.g. a
+            :class:`~repro.sim.stats.SystemStats` metric or a
+            :class:`~repro.consistency.fuzz.FuzzCellResult` attribute).
+        dtype: ``"int"`` / ``"float"`` / ``"bool"`` / ``"str"`` — rendering
+            hint only.
+        aggregate: how the field folds over a workload mix: ``"sum"``,
+            ``"mean"``, ``"all"`` (boolean conjunction) or ``"none"``
+            (per-cell only, never aggregated).
+        better: ``"lower"`` / ``"higher"`` / ``None``.  Directed numeric
+            fields get a ``<name>_speedup`` column vs the baseline variant
+            (``baseline/value`` for lower-is-better, ``value/baseline``
+            otherwise); ``None`` means purely diagnostic.
+        format: ``str.format`` spec for rendering float values.
+    """
+
+    name: str
+    extract: Callable[[object], object]
+    dtype: str = "float"
+    aggregate: str = "sum"
+    better: Optional[str] = None
+    format: str = "{:.3f}"
+
+    def __post_init__(self) -> None:
+        if self.dtype not in ("int", "float", "bool", "str"):
+            raise ValueError(f"field {self.name!r}: unknown dtype {self.dtype!r}")
+        if self.aggregate not in ("sum", "mean", "all", "none"):
+            raise ValueError(
+                f"field {self.name!r}: unknown aggregate {self.aggregate!r}")
+        if self.better not in (None, "lower", "higher"):
+            raise ValueError(
+                f"field {self.name!r}: unknown direction {self.better!r}")
+
+    @property
+    def directed(self) -> bool:
+        """Whether the field supports speedup normalization vs a baseline
+        (a numeric, mix-aggregable quantity with a declared direction)."""
+        return (self.better is not None and self.dtype in ("int", "float")
+                and self.aggregate in ("sum", "mean"))
+
+
+#: Declared report fields per cell-kind name.  Kept beside — not inside —
+#: the frozen :class:`CellKind` records so the kinds that register here
+#: (``"stats"``) can declare fields from the modules that own their metric
+#: functions (:mod:`repro.analysis.sweeps`) without an import cycle.
+_REPORT_FIELDS: Dict[str, Tuple["ReportField", ...]] = {}
+
+
+def declare_report_fields(kind_name: str,
+                          fields: Sequence[ReportField]) -> Tuple[ReportField, ...]:
+    """Declare the reportable fields of a cell kind (idempotent per kind:
+    re-declaring replaces, so test kinds can refine theirs).
+
+    Raises:
+        ValueError: on duplicate field names within one declaration.
+    """
+    names = [f.name for f in fields]
+    if len(names) != len(set(names)):
+        raise ValueError(
+            f"kind {kind_name!r} declares duplicate report fields: {names}")
+    declared = tuple(fields)
+    _REPORT_FIELDS[kind_name] = declared
+    return declared
+
+
+def report_fields(kind: Union[str, "CellKind"]) -> Tuple[ReportField, ...]:
+    """The declared report fields of a cell kind (empty when the kind never
+    declared any).  Loads the bundled kind modules first, since the stats
+    and fuzz declarations live with their metric functions."""
+    name = kind.name if isinstance(kind, CellKind) else kind
+    if name not in _REPORT_FIELDS:
+        try:
+            from repro.analysis import sweeps  # noqa: F401  (declares "stats")
+            _load_bundled_kinds()              # declares "fuzz"
+        except ImportError:  # pragma: no cover - defensive
+            pass
+    return _REPORT_FIELDS.get(name, ())
+
+
+@dataclass(frozen=True)
 class CellKind:
     """What one matrix cell *computes* — the work function and its payload
     contract.
@@ -79,6 +172,13 @@ class CellKind:
     simulate: Callable[..., Dict[str, object]]
     decode: Callable[[Dict[str, object]], object]
     schema: int
+
+    @property
+    def report_fields(self) -> Tuple[ReportField, ...]:
+        """The kind's declared reportable fields
+        (:func:`declare_report_fields`); the reporting layer aggregates,
+        normalizes and renders cells purely from this metadata."""
+        return report_fields(self.name)
 
 
 #: Registered cell kinds by name.

@@ -41,7 +41,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.parallel import MatrixExecutor, ResultCache
+from repro.analysis.parallel import (MatrixExecutor, ReportField, ResultCache,
+                                     declare_report_fields)
 from repro.protocols.registry import list_protocol_names, variant_group
 from repro.sim.config import SystemConfig
 from repro.sim.stats import SystemStats
@@ -62,6 +63,29 @@ METRICS: Dict[str, Callable[[SystemStats], float]] = {
     "rmw_latency_total": lambda s: s.aggregate_l1().rmw_latency_total,
 }
 
+#: Better-direction of every metric with a meaningful sign convention for
+#: speedup normalization; metrics absent here are purely diagnostic.
+_METRIC_DIRECTIONS: Dict[str, str] = {
+    "cycles": "lower",
+    "flits": "lower",
+    "messages": "lower",
+    "l1_misses": "lower",
+    "self_invalidations": "lower",
+    "ts_resets": "lower",
+    "sro_read_hits": "higher",
+    "rmw_latency_total": "lower",
+}
+
+#: The ``"stats"`` kind's declared report fields — one per :data:`METRICS`
+#: entry, so ``SweepSpec.metrics`` names select declared fields and the
+#: reporting layer (:mod:`repro.analysis.report`) reproduces sweep tables
+#: from cached payloads alone.
+STATS_REPORT_FIELDS = declare_report_fields("stats", [
+    ReportField(name=name, extract=fn, dtype="int", aggregate="sum",
+                better=_METRIC_DIRECTIONS.get(name), format="{:.0f}")
+    for name, fn in METRICS.items()
+])
+
 
 @dataclass(frozen=True)
 class SweepSpec:
@@ -78,6 +102,10 @@ class SweepSpec:
         scales: workload scale factors to expand.
         metrics: :data:`METRICS` keys to tabulate.
         max_cycles: per-cell watchdog bound.
+        baseline: protocol name speedup/overhead columns normalize against
+            (:mod:`repro.analysis.report`).  Soft metadata: it need not be
+            in ``protocols`` (a ``subset()`` may drop it), in which case
+            the report layer warns and emits ``—`` for normalized columns.
     """
 
     name: str
@@ -88,6 +116,7 @@ class SweepSpec:
     scales: Tuple[float, ...] = (0.3,)
     metrics: Tuple[str, ...] = ("cycles", "flits")
     max_cycles: int = 200_000_000
+    baseline: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.protocols or not self.workloads:
@@ -290,6 +319,18 @@ class SweepResult:
                  f"(workloads: {', '.join(self.spec.workloads)})")
         return format_table(rows, title=title)
 
+    def report(self, baseline: Optional[str] = None) -> "SpecReport":
+        """Build a :class:`repro.analysis.report.SpecReport` from this
+        in-memory result (same aggregation pipeline ``repro report`` runs
+        over the cache, so ``sweep --figure`` and cache-side reports agree
+        by construction)."""
+        from repro.analysis.report import SpecReport
+
+        return SpecReport.from_stats(
+            self.spec, self.stats,
+            baseline=baseline if baseline is not None else self.spec.baseline,
+        )
+
 
 # ---------------------------------------------------------------------- registry
 
@@ -337,6 +378,7 @@ TIMESTAMP_BITS_SWEEP = register_sweep(SweepSpec(
     protocols=tuple(variant_group("tsocc-timestamp-bits")),
     workloads=("canneal", "radix", "intruder"),
     metrics=("cycles", "self_invalidations", "ts_resets"),
+    baseline="TSO-CC-4-12-3",
 ))
 
 #: Access-counter width ``Bmaxacc`` (§4.2) on a producer-consumer-heavy mix.
@@ -347,6 +389,7 @@ ACCESS_COUNTER_SWEEP = register_sweep(SweepSpec(
     protocols=tuple(variant_group("tsocc-access-counter")),
     workloads=("fft", "dedup", "intruder"),
     metrics=("cycles", "flits"),
+    baseline="TSO-CC-4-12-3",
 ))
 
 #: Shared→SharedRO decay threshold (§3.4) on read-mostly workloads.
@@ -357,6 +400,7 @@ DECAY_SWEEP = register_sweep(SweepSpec(
     protocols=tuple(variant_group("tsocc-decay")),
     workloads=("genome", "raytrace"),
     metrics=("cycles", "shared_decays", "sro_read_hits"),
+    baseline="TSO-CC-4-12-3",
 ))
 
 #: Shared read-only optimization on/off (§3.4).  Replaces
@@ -368,6 +412,7 @@ SHARED_RO_SWEEP = register_sweep(SweepSpec(
     workloads=("raytrace", "blackscholes", "genome"),
     scales=(0.35,),
     metrics=("cycles", "flits", "sro_read_hits"),
+    baseline="TSO-CC-4-12-3",
 ))
 
 #: Timestamp-table capacity ``ts_L1`` (Table 1 / ROADMAP protocol item):
@@ -379,6 +424,7 @@ TS_TABLE_SWEEP = register_sweep(SweepSpec(
     protocols=tuple(variant_group("tsocc-ts-table")),
     workloads=("fft", "dedup", "intruder"),
     metrics=("cycles", "l1_misses", "flits"),
+    baseline="TSO-CC-4-12-3",
 ))
 
 #: Protocol-family comparison: the eager directory protocols, the
@@ -392,6 +438,7 @@ PROTOCOL_BASELINES_SWEEP = register_sweep(SweepSpec(
     cores=(4, 8),
     scales=(0.2,),
     metrics=("cycles", "flits", "messages"),
+    baseline="MESI",
 ))
 
 #: Small cross-family smoke matrix sized for CI sharding: 8 cells on a
@@ -406,4 +453,5 @@ CI_SMOKE_SWEEP = register_sweep(SweepSpec(
     cores=(2,),
     scales=(0.2,),
     metrics=("cycles", "flits", "messages"),
+    baseline="MESI",
 ))

@@ -19,6 +19,9 @@ Exposes the most common operations without writing Python::
     python -m repro fuzz replay fuzz-smoke --seed 17 --protocol MESI
     python -m repro fuzz shrink fuzz-smoke --seed 17 --protocol MESI
     python -m repro fuzz merge fuzz-smoke --from dir0 --from dir1
+    python -m repro report sweep ci-smoke            # normalized tables, no sims
+    python -m repro report dash -o dashboard.html    # static HTML dashboard
+    python -m repro report diff cacheA cacheB --fail-on changed
     python -m repro cache stats                      # indexed result-cache totals
     python -m repro cache ls --kind fuzz --limit 20
     python -m repro cache verify                     # index vs tree (exit 1 on drift)
@@ -57,7 +60,9 @@ from repro.analysis.experiments import ExperimentRunner
 from repro.analysis.parallel import (DEFAULT_CACHE_DIR, ResultCache,
                                      WorkloadValidationError,
                                      _default_results_root)
-from repro.analysis.sweeps import get_sweep, list_sweeps
+from repro.analysis.report import (SpecReport, diff_snapshots, gather_cells,
+                                   render_dashboard, render_table)
+from repro.analysis.sweeps import SWEEPS, get_sweep, list_sweeps
 from repro.analysis.tables import format_series_table, format_table, protocol_rows
 from repro.consistency import canonical_tests, generate_random_test, verify_litmus
 from repro.consistency.fuzz import (format_test, get_campaign, list_campaigns,
@@ -279,6 +284,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"({executed} of {spec.num_cells} cells executed: "
           f"{result.simulations_run} simulated, "
           f"{executed - result.simulations_run} from cache)")
+    if args.figure or args.baseline:
+        report = result.report(baseline=args.baseline)
+        if report.baseline is not None:
+            print()
+            print(report.mix_table().render())
+        if args.figure:
+            for cores, scale in report.platforms:
+                print()
+                print(report.figures(cores=cores, scale=scale))
+        for warning in report.warnings:
+            print(f"warning: {warning}", file=sys.stderr)
     if args.save:
         results_dir = Path(args.results_dir)
         results_dir.mkdir(parents=True, exist_ok=True)
@@ -446,6 +462,147 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         "merge": _cmd_shard_merge,
     }
     return handlers[args.shard_command](args)
+
+
+# ------------------------------------------------------------------ report
+
+def _report_spec(args: argparse.Namespace):
+    """Resolve the reported spec: a registered sweep (honoring the axis
+    overrides) or, failing that, a fuzz campaign — both report through the
+    same declared-field pipeline.
+
+    Raises:
+        KeyError: the name matches neither registry, or an override names
+            an unregistered protocol.
+        ValueError: malformed ``--cores``/``--scales`` overrides.
+    """
+    if args.name in SWEEPS:
+        return _sharded_spec(args)
+    try:
+        return get_campaign(args.name)
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep or campaign {args.name!r}; see "
+            f"'repro sweep --list' and 'repro fuzz list'") from None
+
+
+def _cmd_report_sweep(args: argparse.Namespace) -> int:
+    try:
+        spec = _report_spec(args)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    report = SpecReport.from_cache(spec, Path(args.cache_dir),
+                                   baseline=args.baseline)
+    if report.num_present == 0:
+        print(f"no cached cells for {spec.name!r} under {args.cache_dir}; "
+              f"run the sweep/campaign (or merge shard caches) first",
+              file=sys.stderr)
+        return 1
+    table = report.cell_table() if args.per_cell else \
+        report.mix_table(normalized=not args.no_normalize)
+    output = render_table(table, args.format)
+    if args.figure:
+        for cores, scale in report.platforms:
+            output += "\n\n" + report.figures(cores=cores, scale=scale)
+    if args.format == "terminal":
+        output += (f"\n({report.num_present} of {len(spec.cells())} cells "
+                   f"cached under {args.cache_dir})")
+    if args.out:
+        Path(args.out).write_text(output + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(output)
+    if args.html:
+        Path(args.html).write_text(
+            render_dashboard([report],
+                             title=f"repro report: {spec.name}",
+                             generated=_dashboard_stamp(args.cache_dir)),
+            encoding="utf-8")
+        print(f"wrote {args.html}")
+    for warning in report.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    return 0
+
+
+def _cmd_report_cache(args: argparse.Namespace) -> int:
+    tables = gather_cells(Path(args.cache_dir), kind=args.kind,
+                          protocol=args.protocol, workload=args.workload)
+    if not tables:
+        print(f"no cached cells match under {args.cache_dir}")
+        return 0
+    print("\n\n".join(render_table(table, args.format).rstrip("\n")
+                      for table in tables.values()))
+    return 0
+
+
+def _dashboard_stamp(cache_dir) -> str:
+    return (f"generated {time.strftime('%Y-%m-%d %H:%M:%S %Z')} "
+            f"from cache {cache_dir}")
+
+
+def _cmd_report_dash(args: argparse.Namespace) -> int:
+    names = _split(args.sweeps)
+    reports = []
+    for name in names or [spec.name for spec in list_sweeps()]:
+        try:
+            spec = SWEEPS[name] if name in SWEEPS else get_campaign(name)
+        except KeyError:
+            print(f"unknown sweep or campaign {name!r}; see "
+                  f"'repro sweep --list' and 'repro fuzz list'",
+                  file=sys.stderr)
+            return 2
+        report = SpecReport.from_cache(spec, Path(args.cache_dir))
+        # An explicitly requested spec renders even when empty (the
+        # dashboard shows 0/N cached); the default all-sweeps scan keeps
+        # only specs the cache knows anything about.
+        if names or report.num_present:
+            reports.append(report)
+    Path(args.out).write_text(
+        render_dashboard(reports, title=args.title,
+                         generated=_dashboard_stamp(args.cache_dir)),
+        encoding="utf-8")
+    print(f"wrote {args.out} ({len(reports)} section"
+          f"{'' if len(reports) == 1 else 's'})")
+    return 0
+
+
+#: ``report diff --fail-on`` classes, mapped to the diff fields they gate.
+_DIFF_FAIL_CLASSES = ("changed", "added", "removed", "invalid", "any")
+
+
+def _cmd_report_diff(args: argparse.Namespace) -> int:
+    for label, root in (("A", args.snapshot_a), ("B", args.snapshot_b)):
+        if not Path(root).is_dir():
+            print(f"snapshot {label} is not a directory: {root}",
+                  file=sys.stderr)
+            return 2
+    diff = diff_snapshots(args.snapshot_a, args.snapshot_b, kind=args.kind)
+    print(diff.to_json() if args.json else diff.describe())
+    fail_on = set(args.fail_on or [])
+    if "any" in fail_on:
+        fail_on = {"changed", "added", "removed", "invalid"}
+    tripped = []
+    for cls in ("changed", "added", "removed"):
+        if cls in fail_on and getattr(diff, cls):
+            tripped.append(cls)
+    if "invalid" in fail_on and (diff.invalid_a or diff.invalid_b):
+        tripped.append("invalid")
+    if tripped:
+        print(f"FAIL: snapshot drift in class(es): {', '.join(tripped)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    handlers = {
+        "sweep": _cmd_report_sweep,
+        "cache": _cmd_report_cache,
+        "dash": _cmd_report_dash,
+        "diff": _cmd_report_diff,
+    }
+    return handlers[args.report_command](args)
 
 
 def _cmd_storage(args: argparse.Namespace) -> int:
@@ -951,6 +1108,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--per-cell", action="store_true",
                        help="tabulate per (variant, workload) cell instead of "
                             "summing over the workload mix")
+    sweep.add_argument("--figure", action="store_true",
+                       help="also print figure-style per-workload series "
+                            "tables (one column per variant)")
+    sweep.add_argument("--baseline", default=None, metavar="PROTOCOL",
+                       help="also print the mix table normalized against "
+                            "this variant (default: the sweep's declared "
+                            "baseline when --figure is given)")
     add_axis_overrides(sweep)
     sweep.add_argument("--save", action="store_true",
                        help="also write the table to the results directory")
@@ -1001,6 +1165,101 @@ def build_parser() -> argparse.ArgumentParser:
                              help="destination result cache "
                                   "(default: benchmarks/results/cache)")
     add_axis_overrides(shard_merge)
+
+    report = sub.add_parser(
+        "report",
+        help="aggregate, normalize, render and diff cached results "
+             "without simulating anything")
+    report_sub = report.add_subparsers(dest="report_command", required=True)
+
+    def add_report_cache_dir(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                             help="result cache root "
+                                  "(default: benchmarks/results/cache)")
+
+    report_sweep = report_sub.add_parser(
+        "sweep",
+        help="aggregate a sweep's (or fuzz campaign's) cached cells into "
+             "mix tables with speedup-vs-baseline columns and geomean rows")
+    report_sweep.add_argument("name", nargs="?", default="ci-smoke",
+                              help="registered sweep or campaign name "
+                                   "(default: ci-smoke)")
+    add_axis_overrides(report_sweep)
+    add_report_cache_dir(report_sweep)
+    report_sweep.add_argument("--baseline", default=None, metavar="PROTOCOL",
+                              help="variant normalized columns divide "
+                                   "against (default: the spec's declared "
+                                   "baseline)")
+    report_sweep.add_argument("--no-normalize", action="store_true",
+                              help="omit speedup columns and geomean rows")
+    report_sweep.add_argument("--per-cell", action="store_true",
+                              help="one row per cached cell instead of "
+                                   "aggregating over the workload mix")
+    report_sweep.add_argument("--figure", action="store_true",
+                              help="append figure-style per-workload series "
+                                   "tables")
+    report_sweep.add_argument("--format",
+                              choices=["terminal", "csv", "json"],
+                              default="terminal",
+                              help="table output format (default: terminal)")
+    report_sweep.add_argument("--html", default=None, metavar="PATH",
+                              help="also write a self-contained HTML "
+                                   "dashboard for this spec to PATH")
+    report_sweep.add_argument("--out", default=None, metavar="PATH",
+                              help="write the table to PATH instead of "
+                                   "stdout")
+
+    report_cache = report_sub.add_parser(
+        "cache",
+        help="tabulate every cached cell matching a filter, one table per "
+             "cell kind (declared report fields as columns)")
+    add_report_cache_dir(report_cache)
+    report_cache.add_argument("--kind", default=None,
+                              help="only cells of this cell kind")
+    report_cache.add_argument("--protocol", default=None,
+                              help="only cells of this protocol "
+                                   "configuration")
+    report_cache.add_argument("--workload", default=None,
+                              help="only cells of this workload")
+    report_cache.add_argument("--format",
+                              choices=["terminal", "csv", "json"],
+                              default="terminal",
+                              help="table output format (default: terminal)")
+
+    report_dash = report_sub.add_parser(
+        "dash",
+        help="render a static self-contained HTML dashboard over the cache "
+             "(one section per sweep)")
+    add_report_cache_dir(report_dash)
+    report_dash.add_argument("--out", "-o", required=True, metavar="PATH",
+                             help="output HTML file")
+    report_dash.add_argument("--sweeps", default=None,
+                             help="comma-separated sweep/campaign names "
+                                  "(default: every registered sweep with "
+                                  "cached cells)")
+    report_dash.add_argument("--title", default="repro report dashboard",
+                             help="dashboard page title")
+
+    report_diff = report_sub.add_parser(
+        "diff",
+        help="compare two cache snapshots cell-by-cell and classify "
+             "added/removed/changed/invalid entries")
+    report_diff.add_argument("snapshot_a", metavar="A",
+                             help="reference cache tree")
+    report_diff.add_argument("snapshot_b", metavar="B",
+                             help="candidate cache tree (keys only in B "
+                                  "count as added)")
+    report_diff.add_argument("--kind", default=None,
+                             help="restrict the comparison to one cell kind")
+    report_diff.add_argument("--fail-on", action="append", default=None,
+                             choices=list(_DIFF_FAIL_CLASSES),
+                             metavar="CLASS",
+                             help="exit 1 if this drift class is non-empty "
+                                  f"(repeatable; one of: "
+                                  f"{', '.join(_DIFF_FAIL_CLASSES)})")
+    report_diff.add_argument("--json", action="store_true",
+                             help="emit the full diff as JSON instead of "
+                                  "the text summary")
 
     storage = sub.add_parser("storage", help="print the Figure 2 storage model")
     storage.add_argument("--cores", help="comma-separated core counts")
@@ -1208,6 +1467,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "sweep": _cmd_sweep,
         "shard": _cmd_shard,
+        "report": _cmd_report,
         "storage": _cmd_storage,
         "litmus": _cmd_litmus,
         "fuzz": _cmd_fuzz,

@@ -44,7 +44,8 @@ import re
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.parallel import (CellKind, MatrixExecutor, ResultCache,
+from repro.analysis.parallel import (CellKind, MatrixExecutor, ReportField,
+                                     ResultCache, declare_report_fields,
                                      register_cell_kind)
 from repro.consistency.litmus import (LitmusTest, LitmusThread,
                                       generate_random_test)
@@ -227,6 +228,24 @@ FUZZ_CELL_KIND = register_cell_kind(CellKind(
     decode=FuzzCellResult.from_dict,
     schema=FUZZ_SCHEMA_VERSION,
 ))
+
+#: Declared report fields for fuzz verdicts, so conformance campaigns flow
+#: through the same :mod:`repro.analysis.report` pipeline as stats cells:
+#: ``passed`` aggregates with *all* (one failing cell fails the mix row),
+#: ``violations`` counts sum, ``coverage`` averages.
+FUZZ_REPORT_FIELDS = declare_report_fields("fuzz", [
+    ReportField(name="passed", extract=lambda r: r.passed,
+                dtype="bool", aggregate="all", better="higher",
+                format="{}"),
+    ReportField(name="violations", extract=lambda r: len(r.violations),
+                dtype="int", aggregate="sum", better="lower",
+                format="{:.0f}"),
+    ReportField(name="coverage", extract=lambda r: r.coverage,
+                dtype="float", aggregate="mean", better="higher",
+                format="{:.3f}"),
+    ReportField(name="num_allowed", extract=lambda r: r.num_allowed,
+                dtype="int", aggregate="sum", format="{:.0f}"),
+])
 
 
 # ------------------------------------------------------------------ campaigns

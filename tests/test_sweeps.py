@@ -67,6 +67,25 @@ def test_run_rejects_unregistered_protocol():
         tiny_spec(protocols=("NOPE-9000",)).run()
 
 
+def test_baseline_is_soft_metadata():
+    # A baseline is report metadata, not an axis: it need not be on the
+    # protocol axis (its cells may live in another shard) and it survives
+    # subset() so sharded/filtered runs still report against it.
+    spec = tiny_spec(baseline="MESI")
+    assert spec.baseline == "MESI"
+    assert tiny_spec(baseline="MOESI").cells() == tiny_spec().cells()
+    assert spec.subset(protocols=["TSO-CC-4-12-3"]).baseline == "MESI"
+    assert tiny_spec().baseline is None
+
+
+def test_bundled_sweeps_declare_baselines():
+    assert get_sweep("ci-smoke").baseline == "MESI"
+    assert get_sweep("protocol-baselines").baseline == "MESI"
+    for name in ("timestamp-bits", "access-counter", "decay", "shared-ro",
+                 "ts-table"):
+        assert get_sweep(name).baseline == "TSO-CC-4-12-3"
+
+
 # ------------------------------------------------------------------ registry
 
 def test_bundled_sweeps_cover_the_roadmap_families():
