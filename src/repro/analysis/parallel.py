@@ -300,10 +300,10 @@ def simulate_cell(config: SystemConfig, protocol: str, workload_name: str,
             fails (protocol correctness bug).
     """
     from repro.sim.system import build_system
-    from repro.workloads.benchmarks import make_benchmark
+    from repro.workloads.catalog import make_workload
 
-    workload = make_benchmark(workload_name, num_cores=config.num_cores,
-                              scale=scale)
+    workload = make_workload(workload_name, num_cores=config.num_cores,
+                             scale=scale)
     system = build_system(config, protocol)
     result = system.run(workload.programs, params=workload.params,
                         max_cycles=max_cycles, workload_name=workload_name)

@@ -46,6 +46,8 @@ from repro.analysis.parallel import (MatrixExecutor, ReportField, ResultCache,
 from repro.protocols.registry import list_protocol_names, variant_group
 from repro.sim.config import SystemConfig
 from repro.sim.stats import SystemStats
+from repro.workloads.catalog import canonical_workload_name
+from repro.workloads.suites import get_suite
 
 #: Named metrics a sweep can tabulate.  Every metric maps one cell's
 #: :class:`SystemStats` to a number; per-variant rows report the **sum over
@@ -132,21 +134,65 @@ class SweepSpec:
 
     # ------------------------------------------------------------------ axes
 
+    def resolved_workloads(self) -> Tuple[str, ...]:
+        """The workload axis after suite expansion and canonicalization.
+
+        ``"suite:<name>"`` entries expand to the registered suite's members
+        (:mod:`repro.workloads.suites`); every name is then canonicalized
+        (:func:`repro.workloads.catalog.canonical_workload_name` — trace
+        names gain their content digest, generator names their full field
+        spelling) and deduplicated preserving order.  Cache keys, shard
+        assignments and worker processes all see only these resolved names,
+        so cells(), run() and the report layer agree by construction.
+
+        The resolution is memoized per spec instance (specs are frozen and
+        the report/tabulate paths re-resolve per row): within one process a
+        spec resolves its axis once, so a trace file edited *while* a
+        process holds a resolved spec is not re-digested — one-shot CLI
+        runs always see the file as it was at first resolution.
+
+        Raises:
+            KeyError: for an unknown suite or generator scheme.
+            FileNotFoundError: for a ``trace:`` member with no file.
+            ValueError: for malformed names or trace digest mismatches.
+        """
+        cached = self.__dict__.get("_resolved_workloads")
+        if cached is not None:
+            return cached
+        expanded: List[str] = []
+        for name in self.workloads:
+            if name.startswith("suite:"):
+                expanded.extend(get_suite(name[len("suite:"):]).workloads)
+            else:
+                expanded.append(name)
+        resolved: List[str] = []
+        seen = set()
+        for name in expanded:
+            canonical = canonical_workload_name(name)
+            if canonical not in seen:
+                seen.add(canonical)
+                resolved.append(canonical)
+        result = tuple(resolved)
+        object.__setattr__(self, "_resolved_workloads", result)
+        return result
+
     def cells(self) -> List[Tuple[int, float, str, str]]:
         """The full axis expansion: ``(cores, scale, protocol, workload)``
-        per cell, in deterministic order."""
+        per cell, in deterministic order (workloads resolved via
+        :meth:`resolved_workloads`)."""
+        workloads = self.resolved_workloads()
         return [
             (cores, scale, protocol, workload)
             for cores in self.cores
             for scale in self.scales
             for protocol in self.protocols
-            for workload in self.workloads
+            for workload in workloads
         ]
 
     @property
     def num_cells(self) -> int:
         """Number of independent simulations the sweep expands into."""
-        return (len(self.protocols) * len(self.workloads)
+        return (len(self.protocols) * len(self.resolved_workloads())
                 * len(self.cores) * len(self.scales))
 
     def subset(
@@ -198,6 +244,7 @@ class SweepSpec:
                 f"{', '.join(missing)}"
             )
         backend = resolve_backend(backend)
+        workloads = self.resolved_workloads()
         stats: Dict[Tuple[str, str, int, float], SystemStats] = {}
         simulations = 0
         for cores in self.cores:
@@ -213,7 +260,7 @@ class SweepSpec:
                 cell_stats = executor.run_cells(
                     [(protocol, workload)
                      for protocol in self.protocols
-                     for workload in self.workloads]
+                     for workload in workloads]
                 )
                 simulations += executor.simulations_run
                 for (protocol, workload), cell in cell_stats.items():
@@ -287,7 +334,7 @@ class SweepResult:
                     for metric in self.spec.metrics:
                         row[metric] = sum(
                             METRICS[metric](self.stats[(protocol, w, cores, scale)])
-                            for w in self.spec.workloads
+                            for w in self.spec.resolved_workloads()
                         )
                     rows.append(row)
         return rows
@@ -299,7 +346,7 @@ class SweepResult:
         cores = cores if cores is not None else self.spec.cores[0]
         scale = scale if scale is not None else self.spec.scales[0]
         return sum(METRICS[metric](self.stats[(protocol, w, cores, scale)])
-                   for w in self.spec.workloads)
+                   for w in self.spec.resolved_workloads())
 
     def by_protocol(self) -> Dict[str, Dict[str, float]]:
         """``{variant: {metric: summed value}}`` for single-platform sweeps
@@ -450,6 +497,21 @@ CI_SMOKE_SWEEP = register_sweep(SweepSpec(
     description="small cross-family matrix for sharded CI smoke jobs",
     protocols=("MESI", "MSI", "TSO-CC-4-12-3", "Broadcast"),
     workloads=("fft", "intruder"),
+    cores=(2,),
+    scales=(0.2,),
+    metrics=("cycles", "flits", "messages"),
+    baseline="MESI",
+))
+
+#: Scenario-diversity smoke: the registered ``scenario-smoke`` suite (a
+#: Table 3 stand-in, zipfian and lock-storm generators, and a replayed trace
+#: from ``benchmarks/traces/``) swept lazily via its ``suite:`` name, so the
+#: sweep always follows the registered set.
+SCENARIO_SMOKE_SWEEP = register_sweep(SweepSpec(
+    name="scenario-smoke",
+    description="registered suite: benchmark + generators + replayed trace",
+    protocols=("MESI", "TSO-CC-4-12-3"),
+    workloads=("suite:scenario-smoke",),
     cores=(2,),
     scales=(0.2,),
     metrics=("cycles", "flits", "messages"),

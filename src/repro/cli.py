@@ -8,6 +8,12 @@ Exposes the most common operations without writing Python::
     python -m repro figure 3 --workloads fft,radix --scale 0.3 --jobs 8
     python -m repro sweep --list                  # registered sensitivity sweeps
     python -m repro sweep timestamp-bits --jobs 8
+    python -m repro run zipf:n100000-a90-s7       # parameterised generator
+    python -m repro trace capture fft --protocol MESI --cores 2 --scale 0.2
+    python -m repro trace replay fft --protocol TSO-CC-4-12-3
+    python -m repro trace ls                         # saved traces + digests
+    python -m repro suites                           # registered workload suites
+    python -m repro sweep scenario-smoke --jobs 4    # suite incl. a trace
     python -m repro shard plan ci-smoke --shard-count 4
     python -m repro shard run ci-smoke --shard-index 1 --shard-count 4
     python -m repro shard merge ci-smoke --from shard-dir-0 --from shard-dir-1
@@ -46,6 +52,7 @@ registered sweep; see EXPERIMENTS.md.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -62,7 +69,7 @@ from repro.analysis.parallel import (DEFAULT_CACHE_DIR, ResultCache,
                                      _default_results_root)
 from repro.analysis.report import (SpecReport, diff_snapshots, gather_cells,
                                    render_dashboard, render_table)
-from repro.analysis.sweeps import SWEEPS, get_sweep, list_sweeps
+from repro.analysis.sweeps import SWEEPS, SweepSpec, get_sweep, list_sweeps
 from repro.analysis.tables import format_series_table, format_table, protocol_rows
 from repro.consistency import canonical_tests, generate_random_test, verify_litmus
 from repro.consistency.fuzz import (format_test, get_campaign, list_campaigns,
@@ -72,6 +79,12 @@ from repro.protocols.storage import StorageModel
 from repro.protocols.tsocc.config import PAPER_TSOCC_CONFIGS
 from repro.sim.config import SystemConfig
 from repro.workloads.benchmarks import BENCHMARK_FAMILIES, benchmark_names
+from repro.workloads.catalog import canonical_workload_name, make_workload
+from repro.workloads.suites import get_suite, list_suites as list_workload_suites
+from repro.workloads.tracefile import (Trace, canonical_trace_name,
+                                       capture_trace, default_trace_dir,
+                                       is_trace_name, list_traces,
+                                       trace_digest, trace_workload)
 
 #: Where ``figure --save`` writes its regenerated tables.
 DEFAULT_RESULTS_DIR = _default_results_root()
@@ -137,13 +150,22 @@ def _make_backend(args: argparse.Namespace):
 def _cmd_run(args: argparse.Namespace) -> int:
     protocols = args.protocol or ["MESI", "TSO-CC-4-12-3"]
     try:
+        # Resolve the workload name eagerly (and canonicalize it for the
+        # cache key) so a typo, a missing trace file or a digest mismatch
+        # fails fast instead of surfacing inside a worker process.
+        workload_name = canonical_workload_name(args.workload)
+        make_workload(workload_name, num_cores=args.cores, scale=args.scale)
+    except (KeyError, ValueError, FileNotFoundError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    try:
         # Backend resolution can also fail inside the executor (env-driven
         # selection: REPRO_BACKEND/REPRO_SHARD), so construction is guarded
         # too; KeyError is an unknown backend name.
         runner = ExperimentRunner(
             system_config=SystemConfig().scaled(num_cores=args.cores),
             protocols=protocols,
-            workloads=[args.workload],
+            workloads=[workload_name],
             scale=args.scale,
             max_cycles=args.max_cycles,
             jobs=args.jobs,
@@ -161,7 +183,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     rows = []
     skipped = []
     for protocol in protocols:
-        stats = runner.results.get(protocol, {}).get(args.workload)
+        stats = runner.results.get(protocol, {}).get(workload_name)
         if stats is None:
             # A shard backend only executes the cells of its shard.
             skipped.append(protocol)
@@ -176,7 +198,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "self_inval": int(summary["self_invalidations"]),
             "avg_rmw_latency": summary["avg_rmw_latency"],
         })
-    print(format_table(rows, title=f"{args.workload} ({args.cores} cores, scale {args.scale})"))
+    print(format_table(rows, title=f"{workload_name} ({args.cores} cores, scale {args.scale})"))
     if skipped:
         print(f"(skipped by shard backend: {', '.join(skipped)})")
     return 0
@@ -240,13 +262,21 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.list:
+        def cell_count(spec: SweepSpec):
+            # A sweep whose suite references a trace file that is absent on
+            # this machine should not break the listing of *other* sweeps.
+            try:
+                return spec.num_cells
+            except (KeyError, ValueError, FileNotFoundError):
+                return "?"
+
         rows = [{
             "sweep": spec.name,
             "variants": len(spec.protocols),
             "workloads": len(spec.workloads),
             "cores": ",".join(str(c) for c in spec.cores),
             "scales": ",".join(str(s) for s in spec.scales),
-            "cells": spec.num_cells,
+            "cells": cell_count(spec),
             "description": spec.description,
         } for spec in list_sweeps()]
         print(format_table(rows, title="Registered sensitivity sweeps"))
@@ -867,14 +897,20 @@ def _parse_scaled(value: str, suffixes, what: str) -> float:
     value = value.strip().lower().rstrip("b" if what == "size" else "")
     suffix = value[-1:] if value[-1:] in suffixes and value[-1:] != "" else ""
     number = value[:-1] if suffix else value
+    malformed = ValueError(
+        f"malformed {what} {value!r}; examples: 1048576, 64M, 2G"
+        if what == "size" else
+        f"malformed {what} {value!r}; examples: 3600, 90m, 12h, 7d"
+    )
     try:
-        return float(number) * suffixes[suffix]
+        result = float(number) * suffixes[suffix]
     except (ValueError, KeyError):
-        raise ValueError(
-            f"malformed {what} {value!r}; examples: 1048576, 64M, 2G"
-            if what == "size" else
-            f"malformed {what} {value!r}; examples: 3600, 90m, 12h, 7d"
-        ) from None
+        raise malformed from None
+    if result <= 0:
+        # A zero or negative budget/age would flow into the LRU policy as
+        # an evict-everything bound; reject it like any malformed value.
+        raise malformed
+    return result
 
 
 def parse_bytes(value: str) -> int:
@@ -1030,6 +1066,202 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_directory(args: argparse.Namespace) -> Path:
+    if getattr(args, "trace_dir", None):
+        return Path(args.trace_dir)
+    return default_trace_dir()
+
+
+def _stats_blob(result) -> str:
+    """Canonical JSON of a run's statistics, for byte-identity checks."""
+    return json.dumps(result.stats.to_dict(), sort_keys=True)
+
+
+def _replay_result(workload, protocol: str, max_cycles: int,
+                   workload_name: Optional[str] = None):
+    """Run a replay workload directly (no cache) and return the result."""
+    from repro.sim.system import build_system
+
+    config = SystemConfig().scaled(num_cores=workload.num_cores)
+    system = build_system(config, protocol)
+    name = workload.name if workload_name is None else workload_name
+    return system.run(workload.programs, params=workload.params,
+                      max_cycles=max_cycles, workload_name=name)
+
+
+def _cmd_trace_capture(args: argparse.Namespace) -> int:
+    try:
+        workload = make_workload(args.workload, num_cores=args.cores,
+                                 scale=args.scale)
+        trace, result = capture_trace(
+            workload, args.protocol, max_cycles=args.max_cycles,
+            scale=args.scale, description=args.description)
+    except (KeyError, ValueError, FileNotFoundError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    if not result.finished:
+        print(f"FAIL: {workload.name} did not finish within "
+              f"{args.max_cycles} cycles; the trace would be truncated",
+              file=sys.stderr)
+        return 1
+    if not workload.validate(result):
+        print(f"FAIL: {workload.name} failed functional validation under "
+              f"{args.protocol}; not saving a trace of a broken run",
+              file=sys.stderr)
+        return 1
+    stem = args.output or "".join(
+        ch if (ch.isalnum() or ch in "-_.") else "-" for ch in args.workload)
+    directory = _trace_directory(args)
+    path = directory / f"{stem}.trace"
+    digest = trace.save(path)
+    print(f"captured {trace.num_ops} ops on {trace.num_cores} cores from "
+          f"{workload.name!r} under {args.protocol}")
+    print(f"saved {path} (trace:{stem}@{digest})")
+    if args.no_verify:
+        return 0
+    # Replay the file we just wrote on an identical platform and insist on
+    # byte-identical statistics; a trace that cannot reproduce its own
+    # capture run is worthless as a workload.
+    replay = trace_workload(f"trace:{stem}", directory=directory)
+    replay_run = _replay_result(replay, args.protocol, args.max_cycles,
+                                workload_name=workload.name)
+    if _stats_blob(replay_run) != _stats_blob(result):
+        print("FAIL: replay of the saved trace does not reproduce the "
+              "capture run's statistics", file=sys.stderr)
+        return 1
+    print("verified: replay reproduces the capture run byte-identically")
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    name = args.trace if is_trace_name(args.trace) else f"trace:{args.trace}"
+    try:
+        workload = trace_workload(name, directory=_trace_directory(args))
+    except (ValueError, FileNotFoundError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    protocols = args.protocol or ["MESI", "TSO-CC-4-12-3"]
+    rows = []
+    for protocol in protocols:
+        try:
+            result = _replay_result(workload, protocol, args.max_cycles)
+        except KeyError as exc:
+            print(exc.args[0] if exc.args else exc, file=sys.stderr)
+            return 2
+        summary = result.stats.summary()
+        rows.append({
+            "protocol": protocol,
+            "finished": result.finished,
+            "cycles": int(summary["cycles"]),
+            "flits": int(summary["flits"]),
+            "l1_miss_rate": summary["l1_miss_rate"],
+            "self_inval": int(summary["self_invalidations"]),
+        })
+    print(format_table(rows, title=f"{workload.name} "
+                                   f"({workload.num_cores} cores)"))
+    return 0
+
+
+def _cmd_trace_ls(args: argparse.Namespace) -> int:
+    directory = _trace_directory(args)
+    entries = list_traces(directory)
+    if not entries:
+        print(f"no traces in {directory}")
+        return 0
+    rows = []
+    for stem, path in entries:
+        data = path.read_bytes()
+        try:
+            trace = Trace.from_bytes(data, where=path.name)
+        except ValueError as exc:
+            rows.append({"trace": stem, "digest": "?", "cores": "?",
+                         "ops": "?", "source": f"unreadable: {exc}"})
+            continue
+        rows.append({
+            "trace": stem,
+            "digest": trace_digest(data),
+            "cores": trace.num_cores,
+            "ops": trace.num_ops,
+            "source": trace.source,
+        })
+    print(format_table(rows, title=f"Traces in {directory}"))
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    name = args.trace if is_trace_name(args.trace) else f"trace:{args.trace}"
+    directory = _trace_directory(args)
+    try:
+        canonical = canonical_trace_name(name, directory=directory)
+        workload = trace_workload(name, directory=directory)
+    except (ValueError, FileNotFoundError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    from repro.workloads.tracefile import trace_path
+
+    path = trace_path(name, directory)
+    trace = Trace.load(path)
+    print(f"trace:     {canonical}")
+    print(f"path:      {path} ({path.stat().st_size} bytes)")
+    print(f"source:    {trace.source}")
+    print(f"protocol:  {trace.protocol} (capture run; replays under any)")
+    print(f"scale:     {trace.scale}")
+    if trace.description:
+        print(f"about:     {trace.description}")
+    print(f"cores:     {trace.num_cores}")
+    print(f"ops:       {trace.num_ops} "
+          f"({', '.join(str(len(s)) for s in trace.streams)} per core)")
+    kinds = {}
+    for stream in trace.streams:
+        for op in stream:
+            kinds[op.kind] = kinds.get(op.kind, 0) + 1
+    print("mix:       " + ", ".join(f"{kind}={count}"
+                                    for kind, count in sorted(kinds.items())))
+    print(f"replay as: repro run {workload.name.split('@')[0]} ...")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    handlers = {
+        "capture": _cmd_trace_capture,
+        "replay": _cmd_trace_replay,
+        "ls": _cmd_trace_ls,
+        "info": _cmd_trace_info,
+    }
+    return handlers[args.trace_command](args)
+
+
+def _cmd_suites(args: argparse.Namespace) -> int:
+    if args.name:
+        name = args.name[len("suite:"):] if args.name.startswith("suite:") \
+            else args.name
+        try:
+            registered = get_suite(name)
+        except KeyError as exc:
+            print(exc.args[0] if exc.args else exc, file=sys.stderr)
+            return 2
+        rows = []
+        for member in registered.workloads:
+            try:
+                canonical = canonical_workload_name(member)
+            except (KeyError, ValueError, FileNotFoundError) as exc:
+                canonical = f"UNRESOLVABLE: {exc.args[0] if exc.args else exc}"
+            rows.append({"workload": member, "canonical": canonical})
+        print(format_table(
+            rows,
+            title=f"suite:{registered.name} v{registered.version} — "
+                  f"{registered.description}"))
+        return 0
+    rows = [{
+        "suite": f"suite:{registered.name}",
+        "version": registered.version,
+        "workloads": len(registered.workloads),
+        "description": registered.description,
+    } for registered in list_workload_suites()]
+    print(format_table(rows, title="Registered workload suites"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing and documentation)."""
     parser = argparse.ArgumentParser(
@@ -1073,8 +1305,14 @@ def build_parser() -> argparse.ArgumentParser:
     protocols.add_argument("--cores", type=int, default=32,
                            help="core count for the storage-overhead column")
 
-    run = sub.add_parser("run", help="run one benchmark under one or more protocols")
-    run.add_argument("workload", choices=benchmark_names())
+    run = sub.add_parser(
+        "run",
+        help="run one workload (benchmark, generator or trace) under one "
+             "or more protocols")
+    run.add_argument("workload", metavar="WORKLOAD",
+                     help="benchmark name (see 'repro list'), generator "
+                          "name (zipf:…, pipeline:…, lockstorm:…) or saved "
+                          "trace (trace:<stem>[@digest])")
     run.add_argument("--protocol", action="append",
                      help="protocol configuration (repeatable)")
     run.add_argument("--cores", type=int, default=8)
@@ -1419,6 +1657,64 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per HTTP request")
 
+    trace = sub.add_parser(
+        "trace",
+        help="capture, replay and inspect instruction-stream traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def add_trace_dir(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--trace-dir", default=None,
+                             help="trace directory (default: REPRO_TRACE_DIR "
+                                  "or benchmarks/traces)")
+
+    trace_capture = trace_sub.add_parser(
+        "capture",
+        help="run a workload with the instruction-stream observer and save "
+             "the trace (verified by replay unless --no-verify)")
+    trace_capture.add_argument("workload", metavar="WORKLOAD",
+                               help="benchmark or generator name to capture")
+    trace_capture.add_argument("--protocol", default="MESI",
+                               help="protocol configuration of the capture "
+                                    "run (default: MESI)")
+    trace_capture.add_argument("--cores", type=int, default=8)
+    trace_capture.add_argument("--scale", type=float, default=0.35)
+    trace_capture.add_argument("--max-cycles", type=int, default=200_000_000)
+    trace_capture.add_argument("-o", "--output", default=None, metavar="STEM",
+                               help="file stem (default: derived from the "
+                                    "workload name)")
+    trace_capture.add_argument("--description", default="",
+                               help="free-form note stored in the header")
+    trace_capture.add_argument("--no-verify", action="store_true",
+                               help="skip the replay verification pass")
+    add_trace_dir(trace_capture)
+
+    trace_replay = trace_sub.add_parser(
+        "replay",
+        help="replay a saved trace directly (no cache) under one or more "
+             "protocols")
+    trace_replay.add_argument("trace", metavar="TRACE",
+                              help="trace stem or trace:<stem>[@digest]")
+    trace_replay.add_argument("--protocol", action="append",
+                              help="protocol configuration (repeatable; "
+                                   "default: MESI and TSO-CC-4-12-3)")
+    trace_replay.add_argument("--max-cycles", type=int, default=200_000_000)
+    add_trace_dir(trace_replay)
+
+    trace_ls = trace_sub.add_parser("ls", help="list saved traces")
+    add_trace_dir(trace_ls)
+
+    trace_info = trace_sub.add_parser(
+        "info", help="show one trace's header, op mix and canonical name")
+    trace_info.add_argument("trace", metavar="TRACE",
+                            help="trace stem or trace:<stem>[@digest]")
+    add_trace_dir(trace_info)
+
+    suites = sub.add_parser(
+        "suites",
+        help="list registered workload suites, or show one suite's members")
+    suites.add_argument("name", nargs="?", default=None,
+                        help="suite name (with or without the suite: prefix)")
+
     bench = sub.add_parser(
         "bench",
         help="time the pinned perf workloads; emit BENCH_<n>.json and "
@@ -1473,6 +1769,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fuzz": _cmd_fuzz,
         "cache": _cmd_cache,
         "serve": _cmd_serve,
+        "trace": _cmd_trace,
+        "suites": _cmd_suites,
         "bench": _cmd_bench,
     }
     if args.command == "bench":

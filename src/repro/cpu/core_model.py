@@ -61,6 +61,61 @@ class CoreContext:
             self.observer(self.core_id, kind, address, value, time)
 
 
+def capturing_program(program: Callable[["CoreContext"], Any],
+                      sink: list) -> Callable[["CoreContext"], Any]:
+    """Wrap a workload program so its issued instruction stream is recorded.
+
+    The wrapper is a transparent generator pass-through: every yielded
+    operation (and, for value-producing operations, the value sent back) is
+    forwarded unchanged, so the wrapped program drives the core identically
+    to the bare one.  Each operation is appended to ``sink`` as a
+    ``(kind, address, value)`` tuple in program order:
+
+    * ``("load", address, 0)`` / ``("store", address, value)`` /
+      ``("fence", 0, 0)`` / ``("work", 0, cycles)`` — recorded at issue;
+    * ``("xchg", address, new_value)`` — an RMW, recorded at completion with
+      the *new* value it wrote (``modify(old)``).  Replaying it as an atomic
+      exchange reproduces the original run exactly: old values are
+      deterministic and data values do not affect protocol timing.
+
+    RMWs block the program until completion, so recording them late keeps
+    the stream in program order.  This is the capture half of the trace
+    subsystem (:mod:`repro.workloads.tracefile`); the core model itself is
+    untouched, so runs without capture pay nothing.
+    """
+
+    def wrapped(ctx: "CoreContext"):
+        generator = program(ctx)
+        send_value: Any = None
+        started = False
+        while True:
+            try:
+                op = generator.send(send_value) if started else next(generator)
+            except StopIteration:
+                return
+            started = True
+            if isinstance(op, Load):
+                sink.append(("load", op.address, 0))
+                send_value = yield op
+            elif isinstance(op, Store):
+                sink.append(("store", op.address, op.value))
+                send_value = yield op
+            elif isinstance(op, RMW):
+                send_value = yield op
+                sink.append(("xchg", op.address, op.modify(send_value)))
+            elif isinstance(op, Fence):
+                sink.append(("fence", 0, 0))
+                send_value = yield op
+            elif isinstance(op, Work):
+                sink.append(("work", 0, op.cycles))
+                send_value = yield op
+            else:
+                # Let the core model produce its usual diagnostic.
+                send_value = yield op
+
+    return wrapped
+
+
 class CoreModel:
     """Executes one workload program with TSO semantics.
 

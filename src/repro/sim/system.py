@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.cpu.core_model import CoreContext, CoreModel
+from repro.cpu.core_model import CoreContext, CoreModel, capturing_program
 from repro.interconnect.network import Network
 from repro.interconnect.topology import MeshTopology
 from repro.memsys.address import AddressMap
@@ -159,6 +159,7 @@ class System:
         observer: Optional[Callable[[int, str, int, int, int], None]] = None,
         max_cycles: Optional[int] = None,
         workload_name: str = "",
+        capture_streams: Optional[Sequence[list]] = None,
     ) -> SimulationResult:
         """Run one program per core to completion and return statistics.
 
@@ -171,6 +172,11 @@ class System:
                 runner to collect execution histories).
             max_cycles: watchdog bound on simulated time.
             workload_name: label recorded in the returned statistics.
+            capture_streams: optional instruction-stream capture hook — one
+                list per program; each core's issued operations are appended
+                to its list as ``(kind, address, value)`` tuples in program
+                order (see :func:`repro.cpu.core_model.capturing_program`).
+                Default off: runs without capture are untouched.
 
         Raises:
             DeadlockError: if the event queue drains before every core
@@ -184,6 +190,14 @@ class System:
             raise ValueError(
                 f"{len(programs)} programs supplied for {self.config.num_cores} cores"
             )
+        if capture_streams is not None:
+            if len(capture_streams) != len(programs):
+                raise ValueError(
+                    f"{len(capture_streams)} capture streams supplied for "
+                    f"{len(programs)} programs"
+                )
+            programs = [capturing_program(program, stream)
+                        for program, stream in zip(programs, capture_streams)]
         contexts: List[CoreContext] = []
         for core_id in range(self.config.num_cores):
             context = CoreContext(

@@ -20,15 +20,30 @@ rationale):
   and tests (producer-consumer, ping-pong, lock contention ...).
 * :mod:`repro.workloads.benchmarks` — the 16 benchmark stand-ins of Table 3
   (blackscholes ... vacation), each returning a :class:`Workload`.
+* :mod:`repro.workloads.generators` — parameterised zipfian / pipeline /
+  lock-storm generators with self-describing names.
+* :mod:`repro.workloads.tracefile` — versioned on-disk trace format with
+  capture and replay (``trace:<stem>@<digest>`` workloads).
+* :mod:`repro.workloads.suites` — registered, versioned workload sets.
+* :mod:`repro.workloads.catalog` — the one name resolver
+  (:func:`make_workload`) every cache/shard/worker path uses.
 """
 
-from repro.workloads.trace import TraceOp, Workload, trace_program
+from repro.workloads.trace import (TraceOp, Workload, trace_program,
+                                   validate_trace_ops)
 from repro.workloads.layout import AddressSpace
 from repro.workloads.benchmarks import (
     BENCHMARK_FAMILIES,
     benchmark_names,
     make_benchmark,
 )
+from repro.workloads.catalog import (
+    canonical_workload_name,
+    make_workload,
+)
+from repro.workloads.generators import make_generator
+from repro.workloads.suites import Suite, get_suite, list_suites, suite
+from repro.workloads.tracefile import Trace, capture_trace, trace_workload
 from repro.workloads.synthetic import (
     false_sharing_ping_pong,
     lock_contention,
@@ -41,10 +56,21 @@ __all__ = [
     "Workload",
     "TraceOp",
     "trace_program",
+    "validate_trace_ops",
     "AddressSpace",
     "BENCHMARK_FAMILIES",
     "benchmark_names",
     "make_benchmark",
+    "make_generator",
+    "make_workload",
+    "canonical_workload_name",
+    "Trace",
+    "capture_trace",
+    "trace_workload",
+    "Suite",
+    "suite",
+    "get_suite",
+    "list_suites",
     "producer_consumer",
     "false_sharing_ping_pong",
     "lock_contention",

@@ -1,0 +1,284 @@
+"""Parameterised workload generators with self-describing names.
+
+Where the Table 3 stand-ins (:mod:`repro.workloads.benchmarks`) model
+specific benchmarks, the generators here span the *scenario axis*: skewed
+(zipfian) access mixes, producer-consumer pipelines and lock-contention
+storms, scalable to millions of operations.  Every generator is addressed
+by a self-describing name whose fields fully determine the program::
+
+    zipf:n100000-l2048-a80-r80-s1      # n ops/core over l lines, zipf
+                                       # alpha a/100, r% reads, seed s
+    pipeline:n2000-s1                  # n items through a core-chain
+    lockstorm:n5000-k8-s1              # n critical sections/core, k locks
+
+Because the name carries every parameter (and ``scale`` multiplies the op
+counts at build time, exactly like the benchmark stand-ins), generator
+cells are content-addressed in the result cache by name alone — they
+sweep, shard and report like any registered workload.  Missing fields take
+the defaults above; :func:`canonical_generator_name` re-emits the fully
+specified form the sweep layer uses for cache keys.
+
+All programs are streaming (ops are produced lazily, never materialised)
+and deterministic by seed: the same name and scale always issues the same
+access pattern.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from bisect import bisect_right
+from typing import Callable, Dict, List, Tuple
+
+from repro.cpu.instruction import Load, Store
+from repro.workloads.layout import AddressSpace
+from repro.workloads.sync import (barrier_wait, lock_acquire, lock_release,
+                                  spin_until_equals)
+from repro.workloads.trace import Workload
+
+#: Generator schemes, their field order (canonical names list fields in this
+#: order) and per-field defaults.
+GENERATOR_SCHEMES: Dict[str, Tuple[Tuple[str, int], ...]] = {
+    "zipf": (("n", 100_000), ("l", 2048), ("a", 80), ("r", 80), ("s", 1)),
+    "pipeline": (("n", 2_000), ("s", 1)),
+    "lockstorm": (("n", 5_000), ("k", 8), ("s", 1)),
+}
+
+_FIELD_RE = re.compile(r"([a-z])(\d+)")
+
+
+def generator_schemes() -> List[str]:
+    """The generator scheme names, sorted."""
+    return sorted(GENERATOR_SCHEMES)
+
+
+def is_generator_name(name: str) -> bool:
+    """Whether ``name`` uses one of the generator schemes."""
+    scheme, sep, _ = name.partition(":")
+    return bool(sep) and scheme in GENERATOR_SCHEMES
+
+
+def _parse_name(name: str) -> Tuple[str, Dict[str, int]]:
+    scheme, sep, spec = name.partition(":")
+    if not sep or scheme not in GENERATOR_SCHEMES:
+        raise KeyError(
+            f"unknown generator {name!r}; schemes: "
+            f"{', '.join(generator_schemes())}"
+        )
+    layout = GENERATOR_SCHEMES[scheme]
+    fields = dict(layout)
+    known = set(fields)
+    for token in filter(None, spec.split("-")):
+        match = _FIELD_RE.fullmatch(token)
+        if not match or match.group(1) not in known:
+            raise ValueError(
+                f"malformed generator name {name!r}: bad field {token!r} "
+                f"(fields of {scheme}: {', '.join(key for key, _ in layout)})"
+            )
+        fields[match.group(1)] = int(match.group(2))
+    return scheme, fields
+
+
+def canonical_generator_name(name: str) -> str:
+    """The fully specified form of a generator name, fields in canonical
+    order — what sweeps use for content-addressed cache keys.
+
+    Raises:
+        KeyError: for an unknown scheme.
+        ValueError: for a malformed field.
+    """
+    scheme, fields = _parse_name(name)
+    spec = "-".join(f"{key}{fields[key]}"
+                    for key, _ in GENERATOR_SCHEMES[scheme])
+    return f"{scheme}:{spec}"
+
+
+def make_generator(name: str, num_cores: int = 8,
+                   scale: float = 1.0) -> Workload:
+    """Build the :class:`Workload` a generator name describes.
+
+    Args:
+        name: generator name (missing fields take their defaults; the
+            returned workload is named canonically).
+        num_cores: participating cores.
+        scale: multiplies the op/item counts (minimum 1), exactly like the
+            benchmark stand-ins.
+
+    Raises:
+        KeyError: for an unknown scheme.
+        ValueError: for a malformed field or ``num_cores < 2``.
+    """
+    scheme, fields = _parse_name(name)
+    if num_cores < 2:
+        raise ValueError(f"generator {name!r} needs at least 2 cores")
+    canonical = canonical_generator_name(name)
+    builder = _BUILDERS[scheme]
+    return builder(canonical, fields, num_cores, max(0.0, scale))
+
+
+def _scaled(count: int, scale: float) -> int:
+    return max(1, int(count * scale))
+
+
+def _core_rng(seed: int, core_id: int) -> random.Random:
+    return random.Random((seed * 1_000_003) ^ (core_id + 1))
+
+
+# ---------------------------------------------------------------------- zipf
+
+def _build_zipf(name: str, fields: Dict[str, int], num_cores: int,
+                scale: float) -> Workload:
+    ops = _scaled(fields["n"], scale)
+    lines = max(2, fields["l"])
+    alpha = fields["a"] / 100.0
+    read_pct = min(100, max(0, fields["r"]))
+    seed = fields["s"]
+
+    space = AddressSpace()
+    base = space.array("zipf_lines", lines)
+    stride = space.region("zipf_lines")[2]
+    # Zipfian CDF over the shared lines: line rank k is accessed with
+    # probability proportional to 1/(k+1)^alpha.
+    weights = [1.0 / (rank + 1) ** alpha for rank in range(lines)]
+    total = sum(weights)
+    cdf: List[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight
+        cdf.append(acc / total)
+
+    def make_program(core_id: int) -> Callable:
+        def program(ctx):
+            rng = _core_rng(seed, core_id)
+            for op_index in range(ops):
+                line = bisect_right(cdf, rng.random())
+                if line >= lines:
+                    line = lines - 1
+                address = base + line * stride
+                if rng.random() * 100.0 < read_pct:
+                    yield Load(address)
+                else:
+                    yield Store(address, op_index)
+
+        return program
+
+    return Workload(
+        name=name,
+        programs=[make_program(core) for core in range(num_cores)],
+        description=(f"zipfian mix: {ops} ops/core over {lines} lines, "
+                     f"alpha={alpha:g}, {read_pct}% reads"),
+        suite="generator",
+    )
+
+
+# ------------------------------------------------------------------ pipeline
+
+def _build_pipeline(name: str, fields: Dict[str, int], num_cores: int,
+                    scale: float) -> Workload:
+    items = _scaled(fields["n"], scale)
+    seed = fields["s"]
+    first_value = seed % 1000
+
+    space = AddressSpace()
+    data = [space.scalar(f"data{stage}") for stage in range(num_cores)]
+    flag = [space.scalar(f"flag{stage}") for stage in range(num_cores)]
+    ack = [space.scalar(f"ack{stage}") for stage in range(num_cores)]
+
+    def make_producer() -> Callable:
+        def program(ctx):
+            for item in range(1, items + 1):
+                # Wait for the consumer to drain the slot before reusing it.
+                yield from spin_until_equals(ack[0], item - 1)
+                yield Store(data[0], first_value + item)
+                yield Store(flag[0], item)
+
+        return program
+
+    def make_stage(stage: int) -> Callable:
+        last = stage == num_cores - 1
+
+        def program(ctx):
+            value = 0
+            for item in range(1, items + 1):
+                yield from spin_until_equals(flag[stage - 1], item)
+                value = yield Load(data[stage - 1])
+                yield Store(ack[stage - 1], item)
+                value += 1
+                if not last:
+                    yield from spin_until_equals(ack[stage], item - 1)
+                    yield Store(data[stage], value)
+                    yield Store(flag[stage], item)
+            if last:
+                ctx.record("last", value)
+
+        return program
+
+    expected_last = first_value + items + num_cores - 1
+
+    def validator(result) -> bool:
+        return result.result_of(num_cores - 1, "last") == expected_last
+
+    return Workload(
+        name=name,
+        programs=[make_producer()] + [make_stage(stage)
+                                      for stage in range(1, num_cores)],
+        description=(f"producer-consumer pipeline: {items} items through "
+                     f"{num_cores} stages with flag-chained handoff"),
+        validator=validator,
+        suite="generator",
+    )
+
+
+# ----------------------------------------------------------------- lockstorm
+
+def _build_lockstorm(name: str, fields: Dict[str, int], num_cores: int,
+                     scale: float) -> Workload:
+    ops = _scaled(fields["n"], scale)
+    locks = max(1, fields["k"])
+    seed = fields["s"]
+
+    space = AddressSpace()
+    lock_addr = [space.scalar(f"lock{index}") for index in range(locks)]
+    counter_addr = [space.scalar(f"counter{index}") for index in range(locks)]
+    barrier_count = space.scalar("barrier_count")
+    barrier_gen = space.scalar("barrier_gen")
+
+    def make_program(core_id: int) -> Callable:
+        def program(ctx):
+            rng = _core_rng(seed, core_id)
+            for _ in range(ops):
+                index = rng.randrange(locks)
+                yield from lock_acquire(lock_addr[index])
+                value = yield Load(counter_addr[index])
+                yield Store(counter_addr[index], value + 1)
+                yield from lock_release(lock_addr[index])
+            yield from barrier_wait(barrier_count, barrier_gen, num_cores)
+            if core_id == 0:
+                total = 0
+                for index in range(locks):
+                    value = yield Load(counter_addr[index])
+                    total += value
+                ctx.record("total", total)
+
+        return program
+
+    expected_total = num_cores * ops
+
+    def validator(result) -> bool:
+        return result.result_of(0, "total") == expected_total
+
+    return Workload(
+        name=name,
+        programs=[make_program(core) for core in range(num_cores)],
+        description=(f"lock-contention storm: {ops} critical sections/core "
+                     f"over {locks} locks"),
+        validator=validator,
+        suite="generator",
+    )
+
+
+_BUILDERS: Dict[str, Callable] = {
+    "zipf": _build_zipf,
+    "pipeline": _build_pipeline,
+    "lockstorm": _build_lockstorm,
+}

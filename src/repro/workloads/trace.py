@@ -20,15 +20,28 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.cpu.instruction import Fence, Load, RMW, Store, Work
 
+#: Op kinds a trace may contain.  ``"rmw"`` is an atomic fetch-add of
+#: ``value``; ``"xchg"`` is an atomic exchange writing ``value`` — the
+#: capture side (:mod:`repro.workloads.tracefile`) records every completed
+#: RMW as the exchange of its observed new value, which replays the original
+#: run exactly (old values are deterministic and data values do not affect
+#: protocol timing).
+TRACE_OP_KINDS = ("load", "store", "rmw", "xchg", "fence", "work")
+
+#: Kinds whose completion yields a value a program can record via
+#: ``record_as``.  For every other kind a set ``record_as`` would be
+#: silently ignored, so validation rejects it.
+_RECORDING_KINDS = frozenset({"load", "rmw", "xchg"})
+
 
 @dataclass(frozen=True)
 class TraceOp:
     """One record of an explicit memory trace.
 
     Attributes:
-        kind: ``"load"``, ``"store"``, ``"rmw"``, ``"fence"`` or ``"work"``.
+        kind: one of :data:`TRACE_OP_KINDS`.
         address: byte address (loads/stores/RMWs).
-        value: store value / RMW addend / work cycles.
+        value: store value / RMW addend / exchange value / work cycles.
         record_as: optional key under which a load's (or RMW's old) value is
             recorded into the core's results.
     """
@@ -39,13 +52,49 @@ class TraceOp:
     record_as: Optional[str] = None
 
 
+def validate_trace_ops(ops: Sequence[TraceOp], where: str = "trace") -> None:
+    """Validate every op of a trace eagerly, naming the offending index.
+
+    Raises:
+        ValueError: on an unknown op kind, a negative address, negative work
+            cycles, or a ``record_as`` on a kind that yields no value (it
+            would otherwise be silently ignored).
+    """
+    for index, op in enumerate(ops):
+        if op.kind not in TRACE_OP_KINDS:
+            raise ValueError(
+                f"{where}: unknown trace op kind {op.kind!r} at op {index} "
+                f"(known: {', '.join(TRACE_OP_KINDS)})"
+            )
+        if op.address < 0:
+            raise ValueError(
+                f"{where}: negative address {op.address} at op {index}"
+            )
+        if op.kind == "work" and op.value < 0:
+            raise ValueError(
+                f"{where}: negative work cycles {op.value} at op {index}"
+            )
+        if op.record_as is not None and op.kind not in _RECORDING_KINDS:
+            raise ValueError(
+                f"{where}: record_as={op.record_as!r} on {op.kind!r} op at "
+                f"index {index} would be silently ignored (only "
+                f"{', '.join(sorted(_RECORDING_KINDS))} ops yield a value)"
+            )
+
+
 def trace_program(ops: Sequence[TraceOp]) -> Callable:
     """Build a program that replays ``ops`` in order.
 
-    Loads whose ``record_as`` is set store the observed value in the core's
-    results dictionary — which is how the litmus runner extracts final
-    register values.
+    Every op is validated eagerly (a typo'd trace fails here, with the
+    offending index, rather than mid-simulation).  Loads whose ``record_as``
+    is set store the observed value in the core's results dictionary — which
+    is how the litmus runner extracts final register values.
+
+    Raises:
+        ValueError: if any op fails :func:`validate_trace_ops`.
     """
+    ops = tuple(ops)
+    validate_trace_ops(ops)
 
     def program(ctx):
         for op in ops:
@@ -59,12 +108,14 @@ def trace_program(ops: Sequence[TraceOp]) -> Callable:
                 old = yield RMW.fetch_add(op.address, op.value)
                 if op.record_as is not None:
                     ctx.record(op.record_as, old)
+            elif op.kind == "xchg":
+                old = yield RMW.exchange(op.address, op.value)
+                if op.record_as is not None:
+                    ctx.record(op.record_as, old)
             elif op.kind == "fence":
                 yield Fence()
-            elif op.kind == "work":
+            else:  # "work" — validate_trace_ops rejected everything else
                 yield Work(op.value)
-            else:
-                raise ValueError(f"unknown trace op kind {op.kind!r}")
 
     return program
 

@@ -1,0 +1,410 @@
+"""Compact, versioned on-disk trace format with capture and replay.
+
+A *trace* is the exact per-core instruction stream a workload issued during
+one run: the loads, stores, fences and work intervals at issue, plus every
+atomic RMW recorded at completion as the exchange of the new value it wrote
+(see :func:`repro.cpu.core_model.capturing_program`).  Because the simulator
+is deterministic and data values do not affect protocol timing, replaying a
+trace on an identical platform reproduces the original run's
+:class:`~repro.sim.stats.SystemStats` byte-identically — while being
+completely insensitive to the adaptive control flow (spin loops, back-off)
+of the source program.
+
+File layout (all integers LEB128 varints, values zigzag-encoded)::
+
+    b"RTRC"                      magic
+    u8       format version      (currently 1)
+    varint   header length
+    bytes    header JSON         (sorted keys; includes body_sha256)
+    body:    per core — varint op count, then per op:
+                 u8 kind code (load/store/rmw/xchg/fence/work)
+                 varint address          (load/store/rmw/xchg)
+                 varint zigzag(value)    (store/rmw/xchg/work)
+
+The format carries timing-replay traces only: ``record_as`` register maps
+(litmus tests) are not encoded.  Traces live in ``benchmarks/traces/``
+(override with ``REPRO_TRACE_DIR``) and enter the experiment matrix as
+ordinary named workloads: ``trace:<stem>@<digest12>`` — the digest of the
+file's bytes — so cached results are content-addressed to the trace itself.
+The bare ``trace:<stem>`` form is accepted anywhere a workload is named and
+canonicalized on resolution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.workloads.trace import (TRACE_OP_KINDS, TraceOp, Workload,
+                                   trace_program, validate_trace_ops)
+
+#: Magic bytes and format version of the on-disk trace layout.  Bump the
+#: version on any incompatible layout change; the loader rejects unknown
+#: versions.
+TRACE_MAGIC = b"RTRC"
+TRACE_FORMAT_VERSION = 1
+
+#: File extension of on-disk traces.
+TRACE_SUFFIX = ".trace"
+
+#: Hex digest length used in canonical ``trace:<stem>@<digest>`` names.
+TRACE_DIGEST_LEN = 12
+
+_KIND_CODES: Dict[str, int] = {kind: code
+                               for code, kind in enumerate(TRACE_OP_KINDS)}
+_CODE_KINDS: Dict[int, str] = {code: kind
+                               for kind, code in _KIND_CODES.items()}
+_ADDRESSED_KINDS = frozenset({"load", "store", "rmw", "xchg"})
+_VALUED_KINDS = frozenset({"store", "rmw", "xchg", "work"})
+
+
+# ------------------------------------------------------------------- varints
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_uvarint(data: bytes, offset: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated trace: varint runs past end of file")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def _unzigzag(encoded: int) -> int:
+    return (encoded >> 1) if not encoded & 1 else -((encoded + 1) >> 1)
+
+
+# --------------------------------------------------------------------- trace
+
+@dataclass(frozen=True)
+class Trace:
+    """A captured multi-core instruction stream plus its provenance.
+
+    Attributes:
+        streams: one tuple of :class:`TraceOp` per core, in program order.
+        source: name of the workload the trace was captured from.
+        protocol: protocol configuration of the capture run (provenance
+            only — a trace replays under any protocol).
+        scale: workload scale factor of the capture run.
+        description: free-form one-liner.
+    """
+
+    streams: Tuple[Tuple[TraceOp, ...], ...]
+    source: str = ""
+    protocol: str = ""
+    scale: float = 0.0
+    description: str = ""
+
+    @property
+    def num_cores(self) -> int:
+        """Number of per-core streams."""
+        return len(self.streams)
+
+    @property
+    def num_ops(self) -> int:
+        """Total operation count across every core."""
+        return sum(len(stream) for stream in self.streams)
+
+    # ----------------------------------------------------------- serialization
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the deterministic on-disk layout."""
+        body = bytearray()
+        for stream in self.streams:
+            _write_uvarint(body, len(stream))
+            for op in stream:
+                body.append(_KIND_CODES[op.kind])
+                if op.kind in _ADDRESSED_KINDS:
+                    _write_uvarint(body, op.address)
+                if op.kind in _VALUED_KINDS:
+                    _write_uvarint(body, _zigzag(op.value))
+        header = json.dumps(
+            {
+                "source": self.source,
+                "protocol": self.protocol,
+                "scale": self.scale,
+                "description": self.description,
+                "num_cores": self.num_cores,
+                "num_ops": self.num_ops,
+                "body_sha256": hashlib.sha256(bytes(body)).hexdigest(),
+            },
+            sort_keys=True, separators=(",", ":"),
+        ).encode("utf-8")
+        out = bytearray(TRACE_MAGIC)
+        out.append(TRACE_FORMAT_VERSION)
+        _write_uvarint(out, len(header))
+        out.extend(header)
+        out.extend(body)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, where: str = "trace") -> "Trace":
+        """Decode the on-disk layout, validating eagerly.
+
+        Raises:
+            ValueError: on bad magic, unknown format version, a corrupted
+                body (digest mismatch), or any invalid op — named with its
+                core and op index.
+        """
+        if data[:4] != TRACE_MAGIC:
+            raise ValueError(f"{where}: not a trace file (bad magic)")
+        if len(data) < 5 or data[4] != TRACE_FORMAT_VERSION:
+            version = data[4] if len(data) > 4 else None
+            raise ValueError(
+                f"{where}: unsupported trace format version {version!r} "
+                f"(supported: {TRACE_FORMAT_VERSION})"
+            )
+        header_len, offset = _read_uvarint(data, 5)
+        try:
+            header = json.loads(data[offset:offset + header_len])
+        except ValueError:
+            raise ValueError(f"{where}: corrupt trace header") from None
+        offset += header_len
+        body = data[offset:]
+        digest = hashlib.sha256(body).hexdigest()
+        if digest != header.get("body_sha256"):
+            raise ValueError(
+                f"{where}: trace body digest mismatch (file corrupt or "
+                f"truncated)"
+            )
+        streams: List[Tuple[TraceOp, ...]] = []
+        offset = 0
+        for core in range(int(header.get("num_cores", 0))):
+            count, offset = _read_uvarint(body, offset)
+            ops: List[TraceOp] = []
+            for index in range(count):
+                code = body[offset]
+                offset += 1
+                kind = _CODE_KINDS.get(code)
+                if kind is None:
+                    raise ValueError(
+                        f"{where}: unknown op code {code} at core {core} "
+                        f"op {index}"
+                    )
+                address = value = 0
+                if kind in _ADDRESSED_KINDS:
+                    address, offset = _read_uvarint(body, offset)
+                if kind in _VALUED_KINDS:
+                    encoded, offset = _read_uvarint(body, offset)
+                    value = _unzigzag(encoded)
+                ops.append(TraceOp(kind=kind, address=address, value=value))
+            validate_trace_ops(ops, where=f"{where}[core {core}]")
+            streams.append(tuple(ops))
+        return cls(
+            streams=tuple(streams),
+            source=str(header.get("source", "")),
+            protocol=str(header.get("protocol", "")),
+            scale=float(header.get("scale", 0.0)),
+            description=str(header.get("description", "")),
+        )
+
+    def save(self, path) -> str:
+        """Write the trace to ``path`` and return its content digest."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = self.to_bytes()
+        path.write_bytes(data)
+        return trace_digest(data)
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        """Load and validate a trace file."""
+        path = Path(path)
+        return cls.from_bytes(path.read_bytes(), where=path.name)
+
+
+def trace_digest(data: bytes) -> str:
+    """Short content digest of a serialized trace (whole-file SHA-256)."""
+    return hashlib.sha256(data).hexdigest()[:TRACE_DIGEST_LEN]
+
+
+# ------------------------------------------------------------------- capture
+
+def capture_trace(workload: Workload, protocol, config=None,
+                  max_cycles: int = 200_000_000, scale: float = 0.0,
+                  description: str = ""):
+    """Run ``workload`` with the instruction-stream observer enabled and
+    return ``(Trace, SimulationResult)``.
+
+    The run itself is an ordinary :meth:`System.run` — same statistics,
+    same validation — with :func:`capturing_program` wrappers recording
+    each core's issued stream.
+
+    Raises:
+        ValueError: if the platform has fewer cores than the workload.
+    """
+    from repro.protocols.registry import get_protocol
+    from repro.sim.config import SystemConfig
+    from repro.sim.system import build_system
+
+    protocol_name = get_protocol(protocol).name
+    if config is None:
+        config = SystemConfig().scaled(num_cores=workload.num_cores)
+    streams: List[list] = [[] for _ in workload.programs]
+    system = build_system(config, protocol)
+    result = system.run(workload.programs, params=workload.params,
+                        max_cycles=max_cycles, workload_name=workload.name,
+                        capture_streams=streams)
+    trace = Trace(
+        streams=tuple(
+            tuple(TraceOp(kind=kind, address=address, value=value)
+                  for kind, address, value in stream)
+            for stream in streams
+        ),
+        source=workload.name,
+        protocol=protocol_name,
+        scale=scale,
+        description=description,
+    )
+    return trace, result
+
+
+# -------------------------------------------------------- naming and lookup
+
+def default_trace_dir() -> Path:
+    """The trace directory: ``REPRO_TRACE_DIR`` if set, else
+    ``benchmarks/traces/`` next to the repository's ``benchmarks/`` tree
+    (mirrors the result cache's root resolution)."""
+    env = os.environ.get("REPRO_TRACE_DIR", "").strip()
+    if env:
+        return Path(env)
+    repo_root = Path(__file__).resolve().parents[3]
+    if (repo_root / "benchmarks").is_dir():
+        return repo_root / "benchmarks" / "traces"
+    return Path.cwd() / "benchmarks" / "traces"
+
+
+def is_trace_name(name: str) -> bool:
+    """Whether ``name`` names a trace workload (``trace:`` scheme)."""
+    return name.startswith("trace:")
+
+
+def split_trace_name(name: str) -> Tuple[str, Optional[str]]:
+    """Split ``trace:<stem>[@<digest>]`` into ``(stem, digest-or-None)``.
+
+    Raises:
+        ValueError: if the name is not a well-formed trace name.
+    """
+    if not is_trace_name(name):
+        raise ValueError(f"not a trace workload name: {name!r}")
+    rest = name[len("trace:"):]
+    stem, _, digest = rest.partition("@")
+    if not stem:
+        raise ValueError(f"empty trace name in {name!r}")
+    return stem, (digest or None)
+
+
+def trace_path(name: str, directory: Optional[Path] = None) -> Path:
+    """On-disk path of the trace named by ``trace:<stem>[@digest]`` (or a
+    bare stem)."""
+    stem = split_trace_name(name)[0] if is_trace_name(name) else name
+    directory = directory if directory is not None else default_trace_dir()
+    return directory / f"{stem}{TRACE_SUFFIX}"
+
+
+#: Digest memo keyed by ``(path, mtime_ns, size)`` so repeated name
+#: canonicalization (sweep expansion, cache keys) reads each file once.
+_DIGEST_MEMO: Dict[Tuple[str, int, int], str] = {}
+
+
+def _file_digest(path: Path) -> str:
+    stat = path.stat()
+    memo_key = (str(path), stat.st_mtime_ns, stat.st_size)
+    digest = _DIGEST_MEMO.get(memo_key)
+    if digest is None:
+        digest = trace_digest(path.read_bytes())
+        _DIGEST_MEMO[memo_key] = digest
+    return digest
+
+
+def canonical_trace_name(name: str, directory: Optional[Path] = None) -> str:
+    """Canonicalize a trace workload name to ``trace:<stem>@<digest12>``.
+
+    The digest is computed from the file's bytes, so the canonical name —
+    and therefore every cache key derived from it — is content-addressed to
+    the trace itself.  A name that already carries a digest is verified
+    against the file.
+
+    Raises:
+        FileNotFoundError: if no such trace file exists.
+        ValueError: if a supplied digest does not match the file.
+    """
+    stem, claimed = split_trace_name(name)
+    path = trace_path(name, directory)
+    if not path.is_file():
+        raise FileNotFoundError(
+            f"no trace {stem!r} at {path} (repro trace ls shows what exists)"
+        )
+    digest = _file_digest(path)
+    if claimed is not None and claimed != digest:
+        raise ValueError(
+            f"trace {stem!r} digest mismatch: name says {claimed}, file at "
+            f"{path} has {digest} (the trace changed since the name was "
+            f"recorded)"
+        )
+    return f"trace:{stem}@{digest}"
+
+
+def trace_workload(name: str, num_cores: Optional[int] = None,
+                   directory: Optional[Path] = None) -> Workload:
+    """Build the replay :class:`Workload` for a saved trace.
+
+    Args:
+        name: ``trace:<stem>`` or canonical ``trace:<stem>@<digest>``.
+        num_cores: platform core count the workload will run on (checked
+            against the trace's stream count; ``None`` skips the check).
+        directory: trace directory override.
+
+    Raises:
+        ValueError: on digest mismatch, a corrupt file, or a platform with
+            fewer cores than the trace.
+    """
+    canonical = canonical_trace_name(name, directory)
+    path = trace_path(name, directory)
+    trace = Trace.load(path)
+    if num_cores is not None and trace.num_cores > num_cores:
+        raise ValueError(
+            f"trace {name!r} needs {trace.num_cores} cores but the platform "
+            f"has {num_cores}"
+        )
+    description = trace.description or (
+        f"replay of {trace.source!r} ({trace.num_ops} ops, captured under "
+        f"{trace.protocol})"
+    )
+    return Workload(
+        name=canonical,
+        programs=[trace_program(stream) for stream in trace.streams],
+        description=description,
+        suite="trace",
+    )
+
+
+def list_traces(directory: Optional[Path] = None) -> List[Tuple[str, Path]]:
+    """Every ``(stem, path)`` in the trace directory, sorted by stem."""
+    directory = directory if directory is not None else default_trace_dir()
+    if not directory.is_dir():
+        return []
+    return sorted((p.stem, p) for p in directory.glob(f"*{TRACE_SUFFIX}"))

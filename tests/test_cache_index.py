@@ -388,7 +388,9 @@ def test_parse_bytes_and_age_suffixes():
     assert parse_age("90m") == 5400.0
     assert parse_age("12h") == 43200.0
     assert parse_age("7d") == 7 * 86400.0
-    for bad in ("", "garbage", "12q"):
+    # Non-positive budgets/ages would mean "evict everything"; they are
+    # rejected like any malformed value.
+    for bad in ("", "garbage", "12q", "0", "-64M", "-1"):
         with pytest.raises(ValueError):
             parse_bytes(bad)
         with pytest.raises(ValueError):
@@ -440,12 +442,19 @@ def test_cache_cli_gc_policies_and_exit_codes(tmp_path, capsys):
     # Malformed budget: refuse.
     assert main(["cache", "gc", "--cache-dir", root, "--max-bytes", "9x"]) == 2
     capsys.readouterr()
+    # A non-positive budget is malformed too, not "evict everything".
+    assert main(["cache", "gc", "--cache-dir", root, "--max-bytes=-64M"]) == 2
+    assert "malformed size" in capsys.readouterr().err
+    assert main(["cache", "gc", "--cache-dir", root, "--max-age", "0"]) == 2
+    assert "malformed age" in capsys.readouterr().err
+    assert sorted(CacheIndex(tmp_path).load()) \
+        == sorted(_key(i) for i in range(3))
     # Dry run previews without a policy.
     assert main(["cache", "gc", "--cache-dir", root, "--dry-run"]) == 0
     assert "would remove" in capsys.readouterr().out
     # An unreachable byte budget empties the tree (kind-filtered to prove
     # flag plumbing; every entry here is "stats").
-    assert main(["cache", "gc", "--cache-dir", root, "--max-bytes", "0",
+    assert main(["cache", "gc", "--cache-dir", root, "--max-bytes", "1",
                  "--kind", "stats"]) == 0
     assert "removed 3 of 3" in capsys.readouterr().out
     assert list(iter_entry_files(tmp_path)) == []

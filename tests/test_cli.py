@@ -80,6 +80,10 @@ def test_parser_requires_command():
         build_parser().parse_args([])
 
 
-def test_run_command_rejects_unknown_workload():
-    with pytest.raises(SystemExit):
-        build_parser().parse_args(["run", "unknownbench"])
+def test_run_command_rejects_unknown_workload(capsys):
+    # The workload argument is free-form (benchmarks, generators, traces),
+    # so rejection happens at eager name resolution, not argparse.
+    assert main(["run", "unknownbench"]) == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+    assert main(["run", "zipf:q9"]) == 2
+    assert main(["run", "trace:no-such-trace"]) == 2

@@ -70,9 +70,11 @@ def test_trace_program_replays_and_records():
 
 
 def test_trace_program_rejects_unknown_kind():
-    program = trace_program([TraceOp(kind="prefetch", address=0)])
-    with pytest.raises(ValueError):
-        list(program(None))
+    # Validation is eager: the bad op is reported (with its index) when the
+    # program is built, not mid-simulation when the generator reaches it.
+    with pytest.raises(ValueError, match=r"unknown trace op kind 'prefetch' at op 1"):
+        trace_program([TraceOp(kind="load", address=0),
+                       TraceOp(kind="prefetch", address=0)])
 
 
 # ------------------------------------------------------------------ synchronization on the simulator
